@@ -1,0 +1,109 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+* **Overlap** — WeiPipe with the ``batch_isend_irecv`` prefetch
+  disabled (comm serialised onto compute): quantifies the paper's
+  communication-hiding claim.
+* **Interleave vs Naive** — the paper's own implicit ablation.
+* **Recompute** — WeiPipe with checkpointing off: more compute-time
+  saved vs more memory spent.
+* **Flash attention** — memory-model ablation: put the ``S^2`` matrices
+  back and watch the ZB baselines (and everyone at long S) blow up.
+"""
+
+from dataclasses import replace
+
+from conftest import save_and_print
+
+from repro.experiments.configs import exec_for
+from repro.sim import WorkloadDims, nvlink_cluster, peak_memory, run_cell
+from repro.sim.costmodel import ExecConfig
+
+DIMS = WorkloadDims(
+    hidden=2048, n_layers=32, seq_len=8192, microbatch=8, n_microbatches=128
+)
+CLUSTER = nvlink_cluster(16, gpus_per_node=8)
+
+
+def _run_overlap():
+    on = run_cell("weipipe-interleave", DIMS, CLUSTER, ExecConfig(overlap=True))
+    off = run_cell("weipipe-interleave", DIMS, CLUSTER, ExecConfig(overlap=False))
+    return on, off
+
+
+def test_ablation_overlap(benchmark, results_dir):
+    on, off = benchmark.pedantic(_run_overlap, rounds=1, iterations=1)
+    gain = on.tokens_per_second_per_gpu / off.tokens_per_second_per_gpu
+    save_and_print(
+        results_dir, "ablation_overlap",
+        "WeiPipe comm/compute overlap ablation (H=2048, S=8192, 16 GPUs)\n"
+        f"  overlap on : {on.tokens_per_second_per_gpu:9.1f} tok/s/GPU\n"
+        f"  overlap off: {off.tokens_per_second_per_gpu:9.1f} tok/s/GPU\n"
+        f"  speedup    : {gain:.2f}x",
+    )
+    benchmark.extra_info["overlap_speedup"] = round(gain, 3)
+    assert gain > 1.05  # hiding the ring behind compute must pay
+
+
+def _run_interleave():
+    inter = run_cell("weipipe-interleave", DIMS, CLUSTER, exec_for("weipipe-interleave"))
+    naive = run_cell("weipipe-naive", DIMS, CLUSTER, exec_for("weipipe-naive"))
+    return inter, naive
+
+
+def test_ablation_interleave_vs_naive(benchmark, results_dir):
+    inter, naive = benchmark.pedantic(_run_interleave, rounds=1, iterations=1)
+    gain = inter.tokens_per_second_per_gpu / naive.tokens_per_second_per_gpu
+    save_and_print(
+        results_dir, "ablation_interleave",
+        "WeiPipe-Interleave vs WeiPipe-Naive (H=2048, S=8192, 16 GPUs)\n"
+        f"  interleave: {inter.tokens_per_second_per_gpu:9.1f} tok/s/GPU "
+        f"(bubble {inter.bubble_ratio:.3f})\n"
+        f"  naive     : {naive.tokens_per_second_per_gpu:9.1f} tok/s/GPU "
+        f"(bubble {naive.bubble_ratio:.3f})\n"
+        f"  speedup   : {gain:.2f}x",
+    )
+    benchmark.extra_info["interleave_speedup"] = round(gain, 3)
+    assert gain > 1.2
+    assert inter.bubble_ratio < naive.bubble_ratio
+
+
+def _run_recompute():
+    base = exec_for("weipipe-interleave")
+    on = run_cell("weipipe-interleave", DIMS, CLUSTER, base)
+    off = run_cell("weipipe-interleave", DIMS, CLUSTER, replace(base, recompute=False))
+    return on, off
+
+
+def test_ablation_recompute(benchmark, results_dir):
+    on, off = benchmark.pedantic(_run_recompute, rounds=1, iterations=1)
+    save_and_print(
+        results_dir, "ablation_recompute",
+        "WeiPipe recomputation ablation (H=2048, S=8192, 16 GPUs)\n"
+        f"  recompute on : {on.tokens_per_second_per_gpu:9.1f} tok/s/GPU, "
+        f"{on.peak_memory_gb:6.1f} GB\n"
+        f"  recompute off: {off.tokens_per_second_per_gpu:9.1f} tok/s/GPU, "
+        f"{off.peak_memory_gb:6.1f} GB",
+    )
+    # recompute trades throughput for memory
+    assert off.tokens_per_second_per_gpu > on.tokens_per_second_per_gpu
+    assert off.peak_memory_bytes > on.peak_memory_bytes
+
+
+def _run_flash():
+    norec = ExecConfig(recompute=False, flash_attention=True)
+    noflash = ExecConfig(recompute=False, flash_attention=False)
+    return (
+        peak_memory("zb1", DIMS, CLUSTER, norec),
+        peak_memory("zb1", DIMS, CLUSTER, noflash),
+    )
+
+
+def test_ablation_flash_memory(benchmark, results_dir):
+    with_flash, without = benchmark.pedantic(_run_flash, rounds=1, iterations=1)
+    save_and_print(
+        results_dir, "ablation_flash",
+        "Flash-attention memory ablation, ZB1 (H=2048, S=8192)\n"
+        f"  flash on : {with_flash / 2**30:7.1f} GB\n"
+        f"  flash off: {without / 2**30:7.1f} GB (S^2 matrices back)",
+    )
+    assert without > 1.5 * with_flash

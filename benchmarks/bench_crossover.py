@@ -1,0 +1,49 @@
+"""Crossover sweep: where does weight-passing start to win?
+
+The paper's founding inequality (§1): activation-passing moves
+``G*S*H`` per hop, weight-passing ``~36 H^2`` per turn, so WeiPipe wins
+once ``G*S`` is large relative to ``H``.  This bench sweeps sequence
+length at fixed H on the Ethernet cluster and reports simulated
+throughput for 1F1B vs WeiPipe, locating the crossover — an ablation
+the paper motivates but never plots.
+"""
+
+from conftest import save_and_print
+
+from repro.experiments.configs import exec_for
+from repro.sim import WorkloadDims, pcie_ethernet_cluster, run_cell
+
+
+def _sweep():
+    cluster = pcie_ethernet_cluster(8, gpus_per_node=4)
+    lines = [
+        "Crossover sweep: H=2048, G=4, L=32, 8 GPUs over PCIe+10GbE",
+        f"{'S':>7} {'G*S/(18H)':>10} | {'1F1B':>9} {'WeiPipe':>9} {'winner':>8}",
+    ]
+    winners = []
+    for s in (512, 1024, 2048, 4096, 8192, 16384, 32768):
+        dims = WorkloadDims(
+            hidden=2048, n_layers=32, seq_len=s, microbatch=4,
+            n_microbatches=64,
+        )
+        f = run_cell("1f1b", dims, cluster, exec_for("1f1b"))
+        w = run_cell("weipipe-interleave", dims, cluster, exec_for("weipipe-interleave"))
+        ratio = 4 * s / (18 * 2048)
+        winner = "weipipe" if w.tokens_per_second_per_gpu > f.tokens_per_second_per_gpu else "1f1b"
+        winners.append((ratio, winner))
+        lines.append(
+            f"{s:>7} {ratio:>10.2f} | {f.tokens_per_second_per_gpu:>9.1f} "
+            f"{w.tokens_per_second_per_gpu:>9.1f} {winner:>8}"
+        )
+    return "\n".join(lines), winners
+
+
+def test_crossover(benchmark, results_dir):
+    text, winners = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    save_and_print(results_dir, "crossover", text)
+    # long-context end must favour weight passing
+    assert winners[-1][1] == "weipipe"
+    # once weipipe wins it keeps winning (monotone crossover)
+    flipped = [w for _, w in winners]
+    first_wp = flipped.index("weipipe")
+    assert all(w == "weipipe" for w in flipped[first_wp:])

@@ -1,0 +1,21 @@
+"""Regenerate Figure 6: small-scale weak scaling, 4 -> 16 GPUs.
+
+4 GPUs/server (PCIe inside, 10 GbE between), global batch grows with P.
+Expected shape: WeiPipe's tokens/s/GPU stays ~flat as Ethernet
+boundaries multiply; every baseline's per-GPU efficiency sags harder.
+"""
+
+from conftest import save_and_print
+
+from repro.experiments import run_figure6
+
+
+def test_figure6(benchmark, results_dir):
+    result = benchmark.pedantic(run_figure6, rounds=1, iterations=1)
+    save_and_print(results_dir, "figure6", result.format())
+    wp = result.scaling_efficiency("weipipe-interleave")
+    benchmark.extra_info["weipipe_weak_eff"] = round(wp, 3)
+    assert wp > 0.8
+    for s in result.strategies:
+        if s != "weipipe-interleave":
+            assert wp > result.scaling_efficiency(s), s

@@ -1,0 +1,19 @@
+"""Regenerate Figure 7: large-scale weak scaling, 8 -> 32 GPUs.
+
+8 GPUs/server (NVLink inside, 10 GbE between); 1F1B vs FSDP vs WeiPipe.
+Expected shape: WeiPipe keeps the highest and most stable per-GPU
+throughput as servers are added.
+"""
+
+from conftest import save_and_print
+
+from repro.experiments import run_figure7
+
+
+def test_figure7(benchmark, results_dir):
+    result = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
+    save_and_print(results_dir, "figure7", result.format())
+    at32 = {s: result.per_gpu_series(s)[-1] for s in result.strategies}
+    benchmark.extra_info["per_gpu_at_32"] = {k: round(v) for k, v in at32.items()}
+    assert at32["weipipe-interleave"] == max(at32.values())
+    assert result.scaling_efficiency("weipipe-interleave") > 0.85

@@ -1,0 +1,21 @@
+"""Regenerate Figure 8: small-scale strong scaling, 4 -> 16 GPUs.
+
+Global batch fixed at 128 sequences.  Expected shape: WeiPipe's total
+throughput rises closest to linearly; 1F1B/ZB flatten (bubbles grow as
+the fixed batch spreads thinner) and FSDP pays growing collectives.
+"""
+
+from conftest import save_and_print
+
+from repro.experiments import run_figure8
+
+
+def test_figure8(benchmark, results_dir):
+    result = benchmark.pedantic(run_figure8, rounds=1, iterations=1)
+    save_and_print(results_dir, "figure8", result.format())
+    wp = result.scaling_efficiency("weipipe-interleave")
+    benchmark.extra_info["weipipe_strong_eff"] = round(wp, 3)
+    assert wp > result.scaling_efficiency("1f1b")
+    assert wp > result.scaling_efficiency("zb1")
+    totals = result.total_series("weipipe-interleave")
+    assert totals == sorted(totals)  # monotone speedup

@@ -1,0 +1,20 @@
+"""Regenerate Figure 9: large-scale strong scaling, 8 -> 32 GPUs.
+
+Global batch fixed at 256 sequences.  Expected shape: WeiPipe achieves
+the best speedup trend among 1F1B/FSDP/WeiPipe; 1F1B's total throughput
+at 32 GPUs trails WeiPipe's badly.
+"""
+
+from conftest import save_and_print
+
+from repro.experiments import run_figure9
+
+
+def test_figure9(benchmark, results_dir):
+    result = benchmark.pedantic(run_figure9, rounds=1, iterations=1)
+    save_and_print(results_dir, "figure9", result.format())
+    wp_total = result.total_series("weipipe-interleave")
+    benchmark.extra_info["weipipe_total_at_32"] = round(wp_total[-1], 1)
+    assert wp_total == sorted(wp_total)
+    assert result.total_series("1f1b")[-1] < 0.75 * wp_total[-1]
+    assert result.scaling_efficiency("weipipe-interleave") > result.scaling_efficiency("1f1b")

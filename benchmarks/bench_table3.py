@@ -1,0 +1,32 @@
+"""Regenerate Table 3: throughput, 16 GPUs, PCIe + 10 GbE.
+
+Paper reference (tokens/s/GPU):
+
+    H=1024 S=4096  G=16: 1F1B 8193  ZB1 7708  ZB2 7952  FSDP 11545  WeiPipe 13847
+    H=2048 S=16384 G=4 : 1F1B 2907  ZB1 2638  ZB2 OOM   FSDP 3150   WeiPipe 4151
+    H=4096 S=16384 G=4 : 1F1B 1232  ZB1 OOM   ZB2 OOM   FSDP 966    WeiPipe 1505
+
+Expected shape: WeiPipe's margin over FSDP grows versus Table 2 (the
+communication-constrained environment is where weight-passing shines);
+paper quotes +31.7% at H=2048/S=16384 and +55.8% at H=4096/S=16384.
+"""
+
+from conftest import save_and_print
+
+from repro.experiments import run_table3
+
+
+def test_table3(benchmark, results_dir):
+    result = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    save_and_print(results_dir, "table3", result.format(with_memory=False))
+
+    row = (2048, 16384, 4)
+    wp = result.throughput(row, "weipipe-interleave")
+    fsdp = result.throughput(row, "fsdp")
+    benchmark.extra_info["weipipe_vs_fsdp_h2048_s16k"] = round(wp / fsdp, 3)
+    assert wp / fsdp > 1.2  # paper: 1.317
+
+    row = (4096, 16384, 4)
+    wp = result.throughput(row, "weipipe-interleave")
+    assert wp > result.throughput(row, "fsdp") * 1.3  # paper: 1.558
+    assert wp > result.throughput(row, "1f1b")  # paper: 1.22x

@@ -1,0 +1,61 @@
+"""Pick a parallelism strategy for a long-context training job.
+
+The paper's motivating scenario: you must train a multi-billion
+parameter model with a long context on whatever cluster you have, and
+the right parallelism strategy depends on where the communication
+bottleneck sits.  This example sweeps the strategy zoo through the
+performance simulator for a user-editable workload on three cluster
+types and prints a recommendation.
+
+    python examples/long_context_planner.py
+"""
+
+from repro.experiments.configs import exec_for
+from repro.sim import (
+    WorkloadDims,
+    nvlink_cluster,
+    pcie_ethernet_cluster,
+    run_cell,
+)
+
+# ---- edit your job here -----------------------------------------------------
+WORKLOAD = WorkloadDims(
+    hidden=4096,       # ~6B parameters at 32 layers: a single-GPU replica
+    n_layers=32,       # of the optimizer states would blow past 80 GB,
+    seq_len=16384,     # so plain DP is off the table and parallelism
+    microbatch=4,      # strategy genuinely matters (try hidden=2048 to
+    n_microbatches=128,  # see DP win when the model *does* fit!)
+)
+WORLD = 16
+# -----------------------------------------------------------------------------
+
+CLUSTERS = {
+    "NVLink servers + fast inter-server": nvlink_cluster(WORLD, gpus_per_node=8),
+    "PCIe servers + 10GbE": pcie_ethernet_cluster(WORLD, gpus_per_node=4),
+    "single big NVLink box": nvlink_cluster(WORLD, gpus_per_node=WORLD),
+}
+
+STRATEGIES = ["1f1b", "zb1", "fsdp", "dp", "tp", "sp", "weipipe-naive", "weipipe-interleave"]
+
+
+def main() -> None:
+    print(f"workload: H={WORKLOAD.hidden} L={WORKLOAD.n_layers} "
+          f"S={WORKLOAD.seq_len} G={WORKLOAD.microbatch} on {WORLD} GPUs")
+    print(f"model body: {WORKLOAD.layer_params * WORKLOAD.n_layers / 1e9:.2f}B params\n")
+
+    for cluster_name, cluster in CLUSTERS.items():
+        print(f"=== {cluster_name} ===")
+        rows = []
+        for strat in STRATEGIES:
+            rep = run_cell(strat, WORKLOAD, cluster, exec_for(strat))
+            rows.append((strat, rep))
+            status = "OOM" if rep.oom else f"{rep.tokens_per_second_per_gpu:8.1f} tok/s/GPU"
+            print(f"  {strat:>20}: {status:>22}  "
+                  f"mem {rep.peak_memory_gb:5.1f} GB  bubble {rep.bubble_ratio:.2f}")
+        viable = [(s, r) for s, r in rows if not r.oom]
+        best = max(viable, key=lambda x: x[1].tokens_per_second_per_gpu)
+        print(f"  -> recommended: {best[0]}\n")
+
+
+if __name__ == "__main__":
+    main()

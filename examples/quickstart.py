@@ -1,0 +1,66 @@
+"""Quickstart: train a tiny Llama-style model with WeiPipe.
+
+Runs the same training problem three ways — serial ground truth,
+classical 1F1B pipeline, and WeiPipe-Interleave on a simulated 4-worker
+ring — and shows that all three produce identical losses while moving
+very different amounts of data.
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import FP64, ModelConfig, TrainSpec, train
+from repro.runtime import Fabric
+
+WORLD = 4
+
+
+def main() -> None:
+    cfg = ModelConfig(
+        hidden=32, n_layers=4, n_heads=4, seq_len=64, vocab=128
+    )
+    spec = TrainSpec(
+        cfg=cfg,
+        n_microbatches=8,
+        microbatch_size=2,
+        iters=5,
+        precision=FP64,
+    )
+
+    print(f"model: {sum(c.numel for c in spec.init_chunks()):,} parameters, "
+          f"{cfg.n_layers} layers, seq {cfg.seq_len}")
+    print(f"training {spec.iters} iterations x {spec.n_microbatches} microbatches\n")
+
+    serial = train(spec, "serial", 1)
+
+    results = {"serial": (serial, None)}
+    for strategy in ("1f1b", "weipipe-interleave"):
+        fabric = Fabric(WORLD)
+        res = train(spec, strategy, WORLD, fabric=fabric)
+        results[strategy] = (res, fabric.stats.bytes_total)
+
+    print(f"{'strategy':>20} | " + " ".join(f"loss it{i}" for i in range(spec.iters))
+          + " |  comm bytes")
+    for name, (res, comm) in results.items():
+        losses = " ".join(f"{l:7.4f}" for l in res.losses)
+        comm_s = f"{comm:>11,}" if comm is not None else "          0"
+        print(f"{name:>20} | {losses} | {comm_s}")
+
+    for name, (res, _) in results.items():
+        np.testing.assert_allclose(res.losses, serial.losses, rtol=1e-9)
+        for a, b in zip(res.chunks, serial.chunks):
+            assert a.max_abs_diff(b) < 1e-8
+    print("\nall strategies match the serial ground truth bit-for-bit "
+          "(up to accumulation order) — same math, different plumbing.")
+
+    gsh = spec.microbatch_size * cfg.seq_len
+    crossover = gsh / (18 * cfg.hidden)
+    print(f"\nnote: this toy model has G*S/(18H) = {crossover:.2f} — far below the "
+          "crossover,\nso the weight ring moves more bytes than activations here. "
+          "WeiPipe's win is at\nlong context (G*S >> 18H): see "
+          "benchmarks/bench_crossover.py and the tables.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so editable installs work without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` on environments (like offline
+boxes) that lack the wheel backend needed for PEP 660 editables.
+"""
+
+from setuptools import setup
+
+setup()

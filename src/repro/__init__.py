@@ -1,0 +1,40 @@
+"""WeiPipe reproduction: weight pipeline parallelism (PPoPP'25).
+
+Top-level convenience exports; see README.md for the tour.
+"""
+
+from .core import strategy_names, train, train_weipipe, train_weipipe_dp
+from .data import MarkovCorpus, UniformCorpus
+from .io import load_checkpoint, save_checkpoint
+from .nn import FP32, FP64, MIXED, ModelConfig, ParamStruct, PrecisionPolicy
+from .nn.generate import generate, perplexity
+from .optim import SGD, Adam, AdamW, MasterWeightOptimizer
+from .parallel import TrainResult, TrainSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Adam",
+    "AdamW",
+    "FP32",
+    "FP64",
+    "MarkovCorpus",
+    "UniformCorpus",
+    "generate",
+    "load_checkpoint",
+    "perplexity",
+    "save_checkpoint",
+    "MIXED",
+    "MasterWeightOptimizer",
+    "ModelConfig",
+    "ParamStruct",
+    "PrecisionPolicy",
+    "SGD",
+    "TrainResult",
+    "TrainSpec",
+    "strategy_names",
+    "train",
+    "train_weipipe",
+    "train_weipipe_dp",
+    "__version__",
+]

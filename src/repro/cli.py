@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``strategies`` — list everything the functional runtime and the
+  simulator can run;
+* ``train`` — train a small model on simulated workers and print the
+  loss trajectory (functional layer; numerically real);
+* ``simulate`` — price one workload/strategy/cluster cell with the
+  discrete-event simulator (throughput, memory, bubbles);
+* ``table`` — regenerate paper Table 2, 3 or 4;
+* ``figure`` — regenerate paper Figure 6, 7, 8 or 9;
+* ``timeline`` — render a schedule as an ASCII Gantt chart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WeiPipe reproduction: functional training + cluster simulation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("strategies", help="list available strategies")
+
+    p_train = sub.add_parser("train", help="train on simulated workers")
+    p_train.add_argument("--strategy", default="weipipe-interleave")
+    p_train.add_argument("--world", type=int, default=4)
+    p_train.add_argument(
+        "--dp", type=int, default=1,
+        help="data-parallel replicas of the WeiPipe ring (2-D hybrid; "
+             "ring size = world / dp, weipipe strategies only)",
+    )
+    p_train.add_argument("--hidden", type=int, default=32)
+    p_train.add_argument("--layers", type=int, default=4)
+    p_train.add_argument("--heads", type=int, default=4)
+    p_train.add_argument("--seq", type=int, default=32)
+    p_train.add_argument("--vocab", type=int, default=64)
+    p_train.add_argument("--iters", type=int, default=5)
+    p_train.add_argument("--microbatches", type=int, default=8)
+    p_train.add_argument("--microbatch-size", type=int, default=2)
+    p_train.add_argument("--lr", type=float, default=1e-2)
+    p_train.add_argument("--clip-norm", type=float, default=None)
+    p_train.add_argument(
+        "--data", choices=["uniform", "markov"], default="uniform"
+    )
+    p_train.add_argument(
+        "--precision", choices=["fp64", "fp32", "mixed"], default="fp64"
+    )
+    p_train.add_argument("--recompute", action="store_true")
+    p_train.add_argument("--seed", type=int, default=0)
+
+    p_sim = sub.add_parser("simulate", help="price one workload on a cluster")
+    p_sim.add_argument("--strategy", default="weipipe-interleave")
+    p_sim.add_argument("--world", type=int, default=16)
+    p_sim.add_argument("--hidden", type=int, default=2048)
+    p_sim.add_argument("--layers", type=int, default=32)
+    p_sim.add_argument("--seq", type=int, default=8192)
+    p_sim.add_argument("--microbatch", type=int, default=8)
+    p_sim.add_argument("--microbatches", type=int, default=128)
+    p_sim.add_argument(
+        "--cluster", choices=["nvlink", "pcie-eth", "single-node"],
+        default="nvlink",
+    )
+    p_sim.add_argument("--gpus-per-node", type=int, default=None)
+
+    p_table = sub.add_parser("table", help="regenerate a paper table")
+    p_table.add_argument("which", choices=["2", "3", "4"])
+    p_table.add_argument("--no-memory", action="store_true")
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper scaling figure")
+    p_fig.add_argument("which", choices=["6", "7", "8", "9"])
+
+    p_tl = sub.add_parser("timeline", help="render a schedule timeline")
+    p_tl.add_argument(
+        "schedule",
+        choices=[
+            "weipipe-naive", "weipipe-interleave", "wzb1", "wzb2",
+            "1f1b", "gpipe", "zb1", "zb2",
+        ],
+    )
+    p_tl.add_argument("--world", type=int, default=4)
+    p_tl.add_argument("--microbatches", type=int, default=8)
+    p_tl.add_argument("--width", type=int, default=96)
+    return parser
+
+
+def _cmd_strategies() -> int:
+    from .core import strategy_names
+    from .sim.runner import SIM_STRATEGIES
+
+    print("functional (train):", ", ".join(strategy_names()))
+    print("simulated (simulate):", ", ".join(sorted(SIM_STRATEGIES)))
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from . import FP32, FP64, MIXED, Adam, MasterWeightOptimizer, ModelConfig, TrainSpec, train
+    from .data import MarkovCorpus
+
+    cfg = ModelConfig(
+        hidden=args.hidden, n_layers=args.layers, n_heads=args.heads,
+        seq_len=args.seq, vocab=args.vocab,
+    )
+    precision = {"fp64": FP64, "fp32": FP32, "mixed": MIXED}[args.precision]
+    if args.precision == "mixed":
+        make_opt = lambda: MasterWeightOptimizer(Adam(lr=args.lr), MIXED)
+    else:
+        make_opt = lambda: Adam(lr=args.lr)
+    data = (
+        MarkovCorpus(vocab=args.vocab, seed=args.seed)
+        if args.data == "markov"
+        else None
+    )
+    spec = TrainSpec(
+        cfg=cfg, n_microbatches=args.microbatches,
+        microbatch_size=args.microbatch_size, iters=args.iters,
+        seed=args.seed, precision=precision, recompute=args.recompute,
+        make_optimizer=make_opt, clip_norm=args.clip_norm, data=data,
+    )
+    if args.dp > 1:
+        if args.strategy != "weipipe-interleave":
+            raise SystemExit("--dp > 1 requires --strategy weipipe-interleave")
+        from .core.hybrid import train_weipipe_dp
+
+        result = train_weipipe_dp(
+            spec, ring_size=args.world // args.dp, dp_degree=args.dp
+        )
+    else:
+        result = train(spec, args.strategy, args.world)
+    print(f"strategy={args.strategy} world={args.world} dp={args.dp} "
+          f"model={sum(c.numel for c in spec.init_chunks()):,} params")
+    for i, loss in enumerate(result.losses):
+        print(f"iter {i:>4}: loss {loss:.6f}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .experiments.configs import exec_for
+    from .sim import WorkloadDims, nvlink_cluster, pcie_ethernet_cluster, run_cell
+
+    if args.cluster == "nvlink":
+        cluster = nvlink_cluster(args.world, gpus_per_node=args.gpus_per_node or 8)
+    elif args.cluster == "pcie-eth":
+        cluster = pcie_ethernet_cluster(args.world, gpus_per_node=args.gpus_per_node or 4)
+    else:
+        cluster = nvlink_cluster(args.world, gpus_per_node=args.world)
+    dims = WorkloadDims(
+        hidden=args.hidden, n_layers=args.layers, seq_len=args.seq,
+        microbatch=args.microbatch, n_microbatches=args.microbatches,
+    )
+    rep = run_cell(args.strategy, dims, cluster, exec_for(args.strategy))
+    print(f"strategy            : {rep.strategy}")
+    print(f"cluster             : {args.cluster} ({args.world} GPUs)")
+    print(f"model               : {dims.model_params / 1e9:.2f}B params, "
+          f"S={dims.seq_len}, G={dims.microbatch}, N={dims.n_microbatches}")
+    if rep.oom:
+        print(f"result              : OOM ({rep.peak_memory_gb:.1f} GB > 80 GB)")
+        return 1
+    print(f"throughput          : {rep.tokens_per_second_per_gpu:,.1f} tokens/s/GPU")
+    print(f"iteration time      : {rep.makespan * 1e3:,.1f} ms")
+    print(f"bubble ratio        : {rep.bubble_ratio:.3f}")
+    print(f"peak memory         : {rep.peak_memory_gb:.1f} GB")
+    print(f"comm total          : {rep.comm_bytes_total / 2**30:.2f} GiB/iteration")
+    print(f"peak link bandwidth : {rep.max_link_bytes_per_second / 1e9:.2f} GB/s")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from .experiments import run_table2, run_table3, run_table4
+
+    runner = {"2": run_table2, "3": run_table3, "4": run_table4}[args.which]
+    print(runner().format(with_memory=not args.no_memory))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from .experiments import run_figure6, run_figure7, run_figure8, run_figure9
+
+    runner = {
+        "6": run_figure6, "7": run_figure7, "8": run_figure8, "9": run_figure9
+    }[args.which]
+    print(runner().format())
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    from .sim import WorkloadDims, nvlink_cluster, render_timeline
+    from .sim.costmodel import ExecConfig
+    from .sim.schedules import build_pipeline, build_weipipe, build_weipipe_zb
+
+    dims = WorkloadDims(
+        hidden=1024, n_layers=args.world, seq_len=4096, microbatch=4,
+        n_microbatches=args.microbatches,
+    )
+    cluster = nvlink_cluster(args.world, gpus_per_node=args.world)
+    norec = ExecConfig(recompute=False)
+    name = args.schedule
+    if name.startswith("weipipe-"):
+        built = build_weipipe(name.split("-", 1)[1], dims, cluster)
+    elif name in ("wzb1", "wzb2"):
+        built = build_weipipe_zb(name, dims, cluster, norec)
+    elif name in ("zb1", "zb2"):
+        built = build_pipeline(name, dims, cluster, norec)
+    else:
+        built = build_pipeline(name, dims, cluster)
+    print(render_timeline(built, width=args.width, title=name))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "strategies": lambda: _cmd_strategies(),
+        "train": lambda: _cmd_train(args),
+        "simulate": lambda: _cmd_simulate(args),
+        "table": lambda: _cmd_table(args),
+        "figure": lambda: _cmd_figure(args),
+        "timeline": lambda: _cmd_timeline(args),
+    }
+    return handlers[args.command]()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

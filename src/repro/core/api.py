@@ -1,0 +1,80 @@
+"""High-level training API: one entry point, every strategy by name.
+
+>>> from repro import ModelConfig, TrainSpec, train
+>>> spec = TrainSpec(cfg=ModelConfig(hidden=32, n_layers=4, n_heads=2,
+...                                  seq_len=16, vocab=64),
+...                  n_microbatches=8)
+>>> result = train(spec, strategy="weipipe-interleave", world_size=4)
+>>> result.losses  # doctest: +SKIP
+
+All strategies train the identical problem defined by the
+:class:`~repro.parallel.common.TrainSpec` and return a
+:class:`~repro.parallel.common.TrainResult`; swapping the strategy
+string must not change the numbers (see ``tests/integration``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..parallel.common import TrainResult, TrainSpec
+from ..parallel.data_parallel import train_data_parallel
+from ..parallel.fsdp import train_fsdp
+from ..parallel.pipeline import train_pipeline
+from ..parallel.pipeline_zb import train_pipeline_zb
+from ..parallel.serial import train_serial
+from ..parallel.sequence_parallel import train_sequence_parallel
+from ..parallel.tensor_parallel import train_tensor_parallel
+from ..runtime import Fabric
+from .weipipe import train_weipipe
+
+__all__ = ["train", "STRATEGIES", "strategy_names"]
+
+
+def _serial(spec: TrainSpec, world: int, fabric: Optional[Fabric]) -> TrainResult:
+    if world != 1:
+        raise ValueError("serial strategy runs on exactly one worker")
+    return train_serial(spec)
+
+
+STRATEGIES: Dict[str, Callable[[TrainSpec, int, Optional[Fabric]], TrainResult]] = {
+    "serial": _serial,
+    "dp": lambda s, w, f: train_data_parallel(s, w, fabric=f),
+    "fsdp": lambda s, w, f: train_fsdp(s, w, fabric=f),
+    "gpipe": lambda s, w, f: train_pipeline(s, w, schedule="gpipe", fabric=f),
+    "1f1b": lambda s, w, f: train_pipeline(s, w, schedule="1f1b", fabric=f),
+    "zb1": lambda s, w, f: train_pipeline_zb(s, w, variant="zb1", fabric=f),
+    "zb2": lambda s, w, f: train_pipeline_zb(s, w, variant="zb2", fabric=f),
+    "tp": lambda s, w, f: train_tensor_parallel(s, w, fabric=f),
+    "sp": lambda s, w, f: train_sequence_parallel(s, w, fabric=f),
+    "weipipe-naive": lambda s, w, f: train_weipipe(s, w, mode="naive", fabric=f),
+    "weipipe-zb": lambda s, w, f: train_weipipe(s, w, mode="zero-bubble", fabric=f),
+    "weipipe-interleave": lambda s, w, f: train_weipipe(
+        s, w, mode="interleave", fabric=f
+    ),
+}
+
+
+def strategy_names() -> list:
+    """All registered strategy names."""
+    return sorted(STRATEGIES)
+
+
+def train(
+    spec: TrainSpec,
+    strategy: str = "weipipe-interleave",
+    world_size: int = 1,
+    fabric: Optional[Fabric] = None,
+) -> TrainResult:
+    """Train ``spec`` with the named strategy on ``world_size`` workers.
+
+    Pass a pre-built :class:`~repro.runtime.Fabric` to inspect traffic
+    statistics afterwards.
+    """
+    try:
+        fn = STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; choose from {strategy_names()}"
+        ) from None
+    return fn(spec, world_size, fabric)

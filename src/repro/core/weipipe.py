@@ -1,0 +1,385 @@
+"""The WeiPipe worker engine: weight rings on the functional runtime.
+
+This is the paper's contribution, implemented on the message-passing
+substrate.  Every worker keeps *its own microbatches* resident — their
+activations never leave the worker — while the weights rotate past:
+
+* Each turn the worker receives three payloads from its ring
+  predecessor: a forward-flow weight slot, a backward-flow weight slot
+  and the gradient accumulator ``D`` riding with it (the paper's
+  ``2 W + 1 D = 36 H^2`` per-turn volume for Llama layers).
+* The schedule (:mod:`repro.core.schedule`) says what to compute with
+  them: forward some slot of a new microbatch, fused-backward some slot
+  of an old one, or just pass the cargo on (a bubble).
+* Backward contributions are accumulated *into the circulating D*
+  (quantised to the wire format each hop), replacing DP's all-reduce —
+  the "update pass" of Section 3.
+* After the final turn every slot is back at its home; the worker that
+  owns a slot (holds its optimizer state, which never travels) applies
+  the update and re-injects fresh weights into both flows for the next
+  iteration.
+
+Numerical contract: identical losses and final weights as
+:func:`repro.parallel.serial.train_serial` (exact in fp32/fp64 policies
+up to accumulation order) — enforced by ``tests/integration``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..nn.checkpoint import CheckpointedChunk
+from ..nn import functional as F
+from ..nn.params import ParamStruct
+from ..parallel.common import TrainResult, TrainSpec, microbatch, pre_update, quantize_grads
+from ..runtime import Communicator, Fabric, all_gather, run_workers
+from .schedule import (
+    TurnTask,
+    bwd_slot_held,
+    fwd_home,
+    fwd_slot_held,
+    interleave_schedule,
+    naive_schedule,
+    slot_owner,
+    zero_bubble_schedule,
+)
+
+__all__ = ["train_weipipe", "slot_chunk_ids"]
+
+SlotWeights = Dict[int, ParamStruct]  # chunk id -> weights
+
+
+def slot_chunk_ids(slot: int, world: int, n_layers: int) -> List[int]:
+    """Chunk indices carried by ``slot`` (contiguous, ``L/P`` per slot)."""
+    if n_layers % world != 0:
+        raise ValueError("n_layers must be divisible by world size")
+    per = n_layers // world
+    return list(range(slot * per, (slot + 1) * per))
+
+
+class _MicrobatchState:
+    """Everything a worker keeps for one in-flight microbatch."""
+
+    __slots__ = ("x", "dy", "targets", "fwd_states", "loss")
+
+    def __init__(self, tokens: np.ndarray, targets: np.ndarray):
+        self.x: Optional[np.ndarray] = tokens
+        self.dy: Optional[np.ndarray] = None
+        self.targets = targets
+        self.fwd_states: Dict[int, tuple] = {}
+        self.loss: Optional[float] = None
+
+
+class _WeiPipeWorker:
+    def __init__(self, comm: Communicator, spec: TrainSpec, mode: str,
+                 dp_comm: Optional[Communicator] = None):
+        self.comm = comm
+        #: replica group for 2-D hybrids (repro.core.hybrid): the owners
+        #: of the same slot across data-parallel rings sync D here.
+        self.dp_comm = dp_comm
+        self.spec = spec
+        self.cfg = spec.cfg
+        self.rank = comm.rank
+        self.world = comm.world_size
+        self.mode = mode
+        self.last_slot = self.world - 1
+        self.cos, self.sin = spec.rope()
+        self.ck = CheckpointedChunk(self.cfg, recompute=spec.recompute)
+        self.q_act = spec.precision.q_act
+        self.q_bgrad = spec.precision.q_act_grad
+        self.w_wire = spec.precision.weight_bytes
+        self.d_wire = spec.precision.weight_grad_bytes
+        self.scale = 1.0 / spec.n_microbatches
+
+        chunks_all = spec.init_chunks()
+
+        # flow holdings at turn 0 (see schedule.py for the placement law).
+        self.fwd_slot: SlotWeights = self._slot_view(chunks_all, self._initial_fwd_slot())
+        self.bwd_slot: SlotWeights = self._slot_view(chunks_all, self._initial_bwd_slot())
+        self.grad_slot: SlotWeights = {
+            i: w.zeros_like() for i, w in self.bwd_slot.items()
+        }
+
+        # this worker owns the slot whose backward flow starts here: its
+        # optimizer state stays put for the whole training run.
+        self.owned_slot = (self.rank - 1) % self.world
+        self.opt = spec.make_optimizer()
+        self.opt_states = {
+            i: self.opt.init_state(chunks_all[i])
+            for i in slot_chunk_ids(self.owned_slot, self.world, self.cfg.n_layers)
+        }
+
+        self.inflight: Dict[int, _MicrobatchState] = {}
+        self.losses_by_mb: Dict[int, float] = {}
+        self.peak_inflight = 0
+        # zero-bubble mode: (mb, chunk id) -> (cache, wcache) between the
+        # B pass and its deferred W pass one ring revolution later.
+        self.pending_w: Dict[tuple, tuple] = {}
+        self.peak_pending_w = 0
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _initial_fwd_slot(self) -> int:
+        return (-self.rank) % self.world  # fwd_home(j) == rank  <=>  j == -rank
+
+    def _initial_bwd_slot(self) -> int:
+        return (self.rank - 1) % self.world
+
+    def _slot_view(self, chunks_all: List[ParamStruct], slot: int) -> SlotWeights:
+        return {
+            i: chunks_all[i].clone()
+            for i in slot_chunk_ids(slot, self.world, self.cfg.n_layers)
+        }
+
+    def _slot_nbytes(self, slot: SlotWeights, wire: int) -> int:
+        return sum(w.numel for w in slot.values()) * wire
+
+    # -- compute ---------------------------------------------------------------
+
+    def _forward_slot(self, it: int, slot: int, mb: int) -> None:
+        ids = slot_chunk_ids(slot, self.world, self.cfg.n_layers)
+        if slot == 0:
+            tokens, targets = microbatch(self.spec, it, mb)
+            self.inflight[mb] = _MicrobatchState(tokens, targets)
+            self.peak_inflight = max(self.peak_inflight, len(self.inflight))
+        state = self.inflight[mb]
+        x = state.x
+        for i in ids:
+            w = self.fwd_slot[i]
+            x, st = self.ck.fwd(i, w, x, self.cos, self.sin)
+            x = self.q_act(x)
+            state.fwd_states[i] = st
+        state.x = x
+        if slot == self.last_slot:
+            loss, c_loss = F.cross_entropy_fwd(x, state.targets)
+            state.loss = loss
+            self.losses_by_mb[mb] = loss
+            state.dy = F.cross_entropy_bwd(1.0, c_loss)
+            state.x = None  # logits no longer needed
+
+    def _accumulate_grad(self, i: int, g: ParamStruct) -> None:
+        """Add one chunk contribution into the circulating D at wire
+        precision: the running sum itself lives in the (emulated) fp16
+        buffer."""
+        self.grad_slot[i].add_(
+            quantize_grads(g, self.spec.precision), scale=self.scale
+        )
+        self.grad_slot[i] = quantize_grads(self.grad_slot[i], self.spec.precision)
+
+    def _backward_slot(self, it: int, slot: int, mb: int) -> None:
+        """Fused backward (Naive/Interleave modes)."""
+        ids = slot_chunk_ids(slot, self.world, self.cfg.n_layers)
+        state = self.inflight[mb]
+        dy = state.dy
+        for i in reversed(ids):
+            w = self.bwd_slot[i]
+            dy, g = self.ck.bwd(i, w, dy, state.fwd_states.pop(i))
+            if dy is not None:
+                dy = self.q_bgrad(dy)
+            self._accumulate_grad(i, g)
+        state.dy = dy
+        if slot == 0:
+            del self.inflight[mb]  # microbatch fully retired
+
+    def _b_pass_slot(self, it: int, slot: int, mb: int) -> None:
+        """Zero-bubble B pass: input grads now, weight grads deferred."""
+        ids = slot_chunk_ids(slot, self.world, self.cfg.n_layers)
+        state = self.inflight[mb]
+        dy = state.dy
+        for i in reversed(ids):
+            w = self.bwd_slot[i]
+            dy, cache, wcache = self.ck.bwd_input(i, w, dy, state.fwd_states.pop(i))
+            if dy is not None:
+                dy = self.q_bgrad(dy)
+            self.pending_w[(mb, i)] = (cache, wcache)
+        self.peak_pending_w = max(self.peak_pending_w, len(self.pending_w))
+        state.dy = dy
+        if slot == 0:
+            del self.inflight[mb]
+
+    def _w_pass_slot(self, it: int, slot: int, mb: int) -> None:
+        """Zero-bubble W pass: runs when the slot's D comes around again."""
+        for i in slot_chunk_ids(slot, self.world, self.cfg.n_layers):
+            cache, wcache = self.pending_w.pop((mb, i))
+            g = self.ck.bwd_weight(i, cache, wcache)
+            self._accumulate_grad(i, g)
+
+    # -- the turn loop -----------------------------------------------------------
+
+    def run_iteration(self, it: int) -> float:
+        if self.mode == "interleave":
+            total, task_fn = interleave_schedule(self.world, self.spec.n_microbatches)
+        elif self.mode == "naive":
+            total, task_fn = naive_schedule(self.world, self.spec.n_microbatches)
+        elif self.mode == "zero-bubble":
+            total, task_fn = zero_bubble_schedule(self.world, self.spec.n_microbatches)
+        else:
+            raise ValueError(f"unknown WeiPipe mode {self.mode!r}")
+
+        left, right = self.comm.left, self.comm.right
+        for t in range(total):
+            if t > 0:
+                self.fwd_slot = self.comm.recv(left, ("F", it, t))
+                self.bwd_slot = self.comm.recv(left, ("B", it, t))
+                self.grad_slot = self.comm.recv(left, ("D", it, t))
+
+            task: TurnTask = task_fn(self.rank, t)
+            if task.fwd is not None:
+                slot, mb = task.fwd
+                expected = fwd_slot_held(self.rank, t, self.world)
+                if slot != expected:
+                    raise AssertionError(
+                        f"schedule/flow mismatch: fwd slot {slot} but holding {expected}"
+                    )
+                self._forward_slot(it, slot, mb)
+            if task.bwd is not None:
+                slot, mb = task.bwd
+                expected = bwd_slot_held(self.rank, t, self.world)
+                if slot != expected:
+                    raise AssertionError(
+                        f"schedule/flow mismatch: bwd slot {slot} but holding {expected}"
+                    )
+                if self.mode == "zero-bubble":
+                    self._b_pass_slot(it, slot, mb)
+                else:
+                    self._backward_slot(it, slot, mb)
+            if task.wpass is not None:
+                slot, mb = task.wpass
+                expected = bwd_slot_held(self.rank, t, self.world)
+                if slot != expected:  # the flow loops every P turns
+                    raise AssertionError(
+                        f"schedule/flow mismatch: wpass slot {slot} but holding {expected}"
+                    )
+                self._w_pass_slot(it, slot, mb)
+
+            self.comm.send(
+                self.fwd_slot, right, ("F", it, t + 1),
+                nbytes=self._slot_nbytes(self.fwd_slot, self.w_wire),
+            )
+            self.comm.send(
+                self.bwd_slot, right, ("B", it, t + 1),
+                nbytes=self._slot_nbytes(self.bwd_slot, self.w_wire),
+            )
+            self.comm.send(
+                self.grad_slot, right, ("D", it, t + 1),
+                nbytes=self._slot_nbytes(self.grad_slot, self.d_wire),
+            )
+
+        # final hop brings every slot back to its home position.
+        self.fwd_slot = self.comm.recv(left, ("F", it, total))
+        self.bwd_slot = self.comm.recv(left, ("B", it, total))
+        self.grad_slot = self.comm.recv(left, ("D", it, total))
+
+        self._update_pass(it)
+
+        losses = all_gather(self.comm, dict(self.losses_by_mb), tag=("wp-loss", it))
+        self.losses_by_mb.clear()
+        merged: Dict[int, float] = {}
+        for d in losses:
+            merged.update(d)
+        return sum(merged.values()) / self.spec.n_microbatches
+
+    # -- update pass ----------------------------------------------------------
+
+    def _update_pass(self, it: int) -> None:
+        """Owner updates its slot and re-injects weights into both flows.
+
+        The backward flow is home at the owner, so the update is local;
+        the forward-flow copy lives at ``fwd_home`` and is refreshed with
+        one extra P2P message (its peer is symmetric: worker ``p``
+        exchanges with worker ``(1 - p) mod P``).
+        """
+        held_bwd = self._initial_bwd_slot()
+        if held_bwd != self.owned_slot:  # pragma: no cover - invariant
+            raise AssertionError("backward flow did not come home")
+
+        if self.dp_comm is not None and self.dp_comm.world_size > 1:
+            # hybrid mode: average the owned slot's D across replicas
+            # (each replica accumulated its 1/dp share of microbatches).
+            from ..runtime import all_reduce as _all_reduce
+
+            dp = self.dp_comm.world_size
+            for i, g in self.grad_slot.items():
+                flat = _all_reduce(
+                    self.dp_comm, g.pack(np.float64), tag=("wp-dp", it, i),
+                    nbytes_per_element=self.d_wire,
+                )
+                self.grad_slot[i] = g.unpack_from(flat / dp)
+
+        pre_update(
+            self.spec, it, self.opt, list(self.grad_slot.values()),
+            comm=self.comm, tag=("wp-clip", it),
+        )
+        for i, w in self.bwd_slot.items():
+            self.opt.step(w, self.grad_slot[i], self.opt_states[i])
+            self.grad_slot[i].zero_()
+
+        target = fwd_home(self.owned_slot, self.world)
+        if target == self.rank:
+            self.fwd_slot = {i: w.clone() for i, w in self.bwd_slot.items()}
+        else:
+            self.comm.send(
+                {i: w.clone() for i, w in self.bwd_slot.items()},
+                target,
+                ("inject", it),
+                nbytes=self._slot_nbytes(self.bwd_slot, self.w_wire),
+            )
+            source = slot_owner(self._initial_fwd_slot(), self.world)
+            self.fwd_slot = self.comm.recv(source, ("inject", it))
+
+
+def _worker(comm: Communicator, spec: TrainSpec, mode: str) -> TrainResult:
+    w = _WeiPipeWorker(comm, spec, mode)
+    losses = [w.run_iteration(it) for it in range(spec.iters)]
+    # report final weights: gather every worker's owned (updated) slot.
+    owned = {i: w.bwd_slot[i] for i in w.opt_states}
+    gathered = all_gather(comm, owned, tag=("wp-final",))
+    merged: Dict[int, ParamStruct] = {}
+    for d in gathered:
+        merged.update(d)
+    chunks = [merged[i] for i in range(spec.cfg.n_layers)]
+    if w.pending_w:  # pragma: no cover - invariant
+        raise AssertionError("deferred W passes left undone at exit")
+    return TrainResult(
+        losses=losses,
+        chunks=chunks,
+        extra={
+            "rank": w.rank,
+            "peak_inflight": w.peak_inflight,
+            "peak_pending_w": w.peak_pending_w,
+        },
+    )
+
+
+def train_weipipe(
+    spec: TrainSpec,
+    world_size: int,
+    mode: str = "interleave",
+    fabric: Optional[Fabric] = None,
+) -> TrainResult:
+    """Train with WeiPipe (``mode`` in {"interleave", "naive",
+    "zero-bubble"}).
+
+    ``zero-bubble`` is this repository's functional realisation of the
+    paper's conceptual WZB schedules (§4.3): B passes on the critical
+    path, W passes deferred one ring revolution to when the slot's
+    gradient accumulator next passes through.
+
+    Requires ``n_layers % world_size == 0`` and
+    ``n_microbatches % world_size == 0`` (the paper's setting).
+    """
+    slot_chunk_ids(0, world_size, spec.cfg.n_layers)  # validates divisibility
+    if spec.n_microbatches % world_size != 0:
+        raise ValueError("n_microbatches must be divisible by world_size")
+    results = run_workers(
+        world_size, lambda comm: _worker(comm, spec, mode), fabric=fabric
+    )
+    peaks = {r.extra["rank"]: r.extra["peak_inflight"] for r in results}
+    pending = {r.extra["rank"]: r.extra["peak_pending_w"] for r in results}
+    return TrainResult(
+        losses=results[0].losses,
+        chunks=results[0].chunks,
+        extra={"peak_inflight": peaks, "peak_pending_w": pending},
+    )

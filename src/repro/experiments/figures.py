@@ -1,0 +1,166 @@
+"""Regenerate the paper's scaling studies (Figures 6-9).
+
+* **Fig. 6** — small-scale weak scaling: 4 -> 16 GPUs (4 per server,
+  PCIe inside, 10 GbE between), global batch 64 -> 256 sequences,
+  L = 16.  All five strategies.
+* **Fig. 7** — large-scale weak scaling: 8 -> 32 GPUs (8 per server,
+  NVLink inside, 10 GbE between), batch 128 -> 512, L = 32.  1F1B vs
+  FSDP vs WeiPipe.
+* **Fig. 8** — small-scale strong scaling: 4 -> 16 GPUs, batch fixed
+  at 128.
+* **Fig. 9** — large-scale strong scaling: 8 -> 32 GPUs, batch fixed
+  at 256.
+
+Each point reports total Kilo-tokens/s (bar) and per-GPU tokens/s
+(line), the two axes of the paper's bar+line charts.  The shapes to
+reproduce: WeiPipe's per-GPU throughput stays ~flat as Ethernet
+boundaries multiply (weak scaling) and its total throughput stays
+closest to linear at fixed batch (strong scaling), while 1F1B and FSDP
+sag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..sim.costmodel import WorkloadDims
+from ..sim.hardware import Cluster, ETHERNET_10G, nvlink_cluster, pcie_ethernet_cluster
+from ..sim.metrics import SimReport
+from ..sim.runner import run_cell
+from .configs import exec_for, zb_microbatch
+
+__all__ = [
+    "ScalingPoint",
+    "ScalingResult",
+    "run_scaling",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+]
+
+SMALL_STRATEGIES = ["1f1b", "zb1", "zb2", "fsdp", "weipipe-interleave"]
+LARGE_STRATEGIES = ["1f1b", "fsdp", "weipipe-interleave"]
+
+
+@dataclass
+class ScalingPoint:
+    world_size: int
+    batch_sequences: int
+    report: SimReport
+
+    @property
+    def total_kilo_tokens_per_s(self) -> float:
+        return self.report.tokens_per_second_per_gpu * self.world_size / 1e3
+
+    @property
+    def tokens_per_s_per_gpu(self) -> float:
+        return self.report.tokens_per_second_per_gpu
+
+
+@dataclass
+class ScalingResult:
+    name: str
+    points: Dict[Tuple[str, int], ScalingPoint]  # (strategy, world) -> point
+    strategies: List[str]
+    worlds: List[int]
+
+    def per_gpu_series(self, strategy: str) -> List[float]:
+        return [self.points[(strategy, w)].tokens_per_s_per_gpu for w in self.worlds]
+
+    def total_series(self, strategy: str) -> List[float]:
+        return [
+            self.points[(strategy, w)].total_kilo_tokens_per_s for w in self.worlds
+        ]
+
+    def scaling_efficiency(self, strategy: str) -> float:
+        """Last point's per-GPU throughput relative to the first point's
+        (1.0 = perfect weak scaling / linear strong scaling)."""
+        series = self.per_gpu_series(strategy)
+        return series[-1] / series[0]
+
+    def format(self) -> str:
+        lines = [self.name]
+        head = f"{'strategy':>20} | " + " ".join(f"P={w:<4}" for w in self.worlds)
+        lines.append(head + "   (tokens/s/GPU)")
+        lines.append("-" * len(head))
+        for s in self.strategies:
+            cells = " ".join(f"{v:6.0f}" for v in self.per_gpu_series(s))
+            lines.append(f"{s:>20} | {cells}   eff={self.scaling_efficiency(s):.2f}")
+        lines.append("")
+        lines.append(head + "   (total Kilo tokens/s)")
+        for s in self.strategies:
+            cells = " ".join(f"{v:6.1f}" for v in self.total_series(s))
+            lines.append(f"{s:>20} | {cells}")
+        return "\n".join(lines)
+
+
+def _cluster_small(world: int) -> Cluster:
+    return pcie_ethernet_cluster(world, gpus_per_node=4)
+
+
+def _cluster_large(world: int) -> Cluster:
+    return nvlink_cluster(world, gpus_per_node=8, inter=ETHERNET_10G)
+
+
+def run_scaling(
+    name: str,
+    worlds: List[int],
+    batch_for_world,
+    cluster_for_world,
+    strategies: List[str],
+    n_layers: int,
+    hidden: int = 1024,
+    seq: int = 16384,
+    g: int = 4,
+) -> ScalingResult:
+    """Run one scaling study; ``batch_for_world(P)`` gives the global
+    batch in sequences."""
+    points: Dict[Tuple[str, int], ScalingPoint] = {}
+    for world in worlds:
+        cluster = cluster_for_world(world)
+        batch = batch_for_world(world)
+        for strat in strategies:
+            gg = zb_microbatch(seq) if strat in ("zb1", "zb2") else g
+            n_mb = max(world, batch // gg)
+            n_mb -= n_mb % world
+            dims = WorkloadDims(
+                hidden=hidden, n_layers=n_layers, seq_len=seq,
+                microbatch=gg, n_microbatches=n_mb,
+            )
+            rep = run_cell(strat, dims, cluster, exec_for(strat))
+            points[(strat, world)] = ScalingPoint(world, batch, rep)
+    return ScalingResult(name=name, points=points, strategies=strategies, worlds=worlds)
+
+
+def run_figure6() -> ScalingResult:
+    """Fig. 6: small-scale weak scaling (batch grows with P)."""
+    return run_scaling(
+        "Figure 6: small-scale weak scaling (4->16 GPUs, batch 64->256)",
+        [4, 8, 16], lambda p: 16 * p, _cluster_small, SMALL_STRATEGIES, 16,
+    )
+
+
+def run_figure7() -> ScalingResult:
+    """Fig. 7: large-scale weak scaling (batch grows with P)."""
+    return run_scaling(
+        "Figure 7: large-scale weak scaling (8->32 GPUs, batch 128->512)",
+        [8, 16, 32], lambda p: 16 * p, _cluster_large, LARGE_STRATEGIES, 32,
+    )
+
+
+def run_figure8() -> ScalingResult:
+    """Fig. 8: small-scale strong scaling (batch fixed at 128)."""
+    return run_scaling(
+        "Figure 8: small-scale strong scaling (4->16 GPUs, batch 128)",
+        [4, 8, 16], lambda p: 128, _cluster_small, SMALL_STRATEGIES, 16,
+    )
+
+
+def run_figure9() -> ScalingResult:
+    """Fig. 9: large-scale strong scaling (batch fixed at 256)."""
+    return run_scaling(
+        "Figure 9: large-scale strong scaling (8->32 GPUs, batch 256)",
+        [8, 16, 32], lambda p: 256, _cluster_large, LARGE_STRATEGIES, 32,
+    )

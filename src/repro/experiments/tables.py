@@ -1,0 +1,109 @@
+"""Regenerate Tables 2, 3 and 4 (throughput and memory per cell)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.hardware import Cluster
+from ..sim.metrics import SimReport
+from ..sim.runner import run_cell
+from .configs import (
+    STRATEGY_ORDER,
+    TABLE2_ROWS,
+    TABLE3_ROWS,
+    TABLE4_ROWS,
+    exec_for,
+    make_dims,
+    table2_cluster,
+    table3_cluster,
+    table4_cluster,
+)
+
+__all__ = ["TableResult", "run_table", "run_table2", "run_table3", "run_table4"]
+
+
+@dataclass
+class TableResult:
+    """One regenerated table: rows of (H, S, G) x strategy reports."""
+
+    name: str
+    rows: List[Tuple[int, int, int]]
+    cells: Dict[Tuple[Tuple[int, int, int], str], SimReport]
+    strategies: List[str]
+
+    def throughput(self, row: Tuple[int, int, int], strategy: str) -> Optional[float]:
+        rep = self.cells[(row, strategy)]
+        return None if rep.oom else rep.tokens_per_second_per_gpu
+
+    def memory_gb(self, row: Tuple[int, int, int], strategy: str) -> Optional[float]:
+        rep = self.cells[(row, strategy)]
+        return None if rep.oom else rep.peak_memory_gb
+
+    def is_oom(self, row: Tuple[int, int, int], strategy: str) -> bool:
+        return self.cells[(row, strategy)].oom
+
+    def format(self, with_memory: bool = True) -> str:
+        """Paper-style text table."""
+        head = f"{'H':>5} {'S':>6} {'G':>3} | " + " ".join(
+            f"{s:>12}" for s in self.strategies
+        )
+        lines = [self.name, head, "-" * len(head)]
+        for row in self.rows:
+            h, s, g = row
+            cells = []
+            for strat in self.strategies:
+                rep = self.cells[(row, strat)]
+                cells.append(f"{'OOM':>12}" if rep.oom else f"{rep.tokens_per_second_per_gpu:>12.1f}")
+            lines.append(f"{h:>5} {s:>6} {g:>3} | " + " ".join(cells))
+        if with_memory:
+            lines.append("")
+            lines.append("Memory (GB):")
+            for row in self.rows:
+                h, s, g = row
+                cells = []
+                for strat in self.strategies:
+                    rep = self.cells[(row, strat)]
+                    cells.append(
+                        f"{'OOM':>12}" if rep.oom else f"{rep.peak_memory_gb:>12.1f}"
+                    )
+                lines.append(f"{h:>5} {s:>6} {g:>3} | " + " ".join(cells))
+        return "\n".join(lines)
+
+
+def run_table(
+    name: str,
+    rows: List[Tuple[int, int, int]],
+    cluster: Cluster,
+    n_layers: int = 32,
+    strategies: Optional[List[str]] = None,
+) -> TableResult:
+    """Run every (row, strategy) cell of one evaluation table."""
+    strategies = strategies or STRATEGY_ORDER
+    cells: Dict[Tuple[Tuple[int, int, int], str], SimReport] = {}
+    for row in rows:
+        h, s, g = row
+        for strat in strategies:
+            dims = make_dims(h, s, g, cluster.world_size, n_layers, strat)
+            cells[(row, strat)] = run_cell(strat, dims, cluster, exec_for(strat))
+    return TableResult(name=name, rows=rows, cells=cells, strategies=strategies)
+
+
+def run_table2() -> TableResult:
+    """Table 2: throughput + memory, 16 GPUs, NVLink servers, L=32."""
+    return run_table("Table 2 (NVLink environment, 16 GPUs)", TABLE2_ROWS, table2_cluster())
+
+
+def run_table3() -> TableResult:
+    """Table 3: throughput, 16 GPUs, PCIe + 10 GbE, L=32."""
+    return run_table("Table 3 (PCIe + Ethernet, 16 GPUs)", TABLE3_ROWS, table3_cluster())
+
+
+def run_table4() -> TableResult:
+    """Table 4: throughput, 8 GPUs, single NVLink server, L=16."""
+    return run_table(
+        "Table 4 (single NVLink server, 8 GPUs, L=16)",
+        TABLE4_ROWS,
+        table4_cluster(),
+        n_layers=16,
+    )

@@ -1,0 +1,80 @@
+"""Checkpointing: save/load model weights and configuration.
+
+A checkpoint is a single ``.npz`` holding every chunk's tensors (keys
+``chunk{i}/{name}``) plus a JSON-encoded :class:`ModelConfig` and
+user metadata.  ``TrainSpec.initial_chunks`` accepts loaded chunks, so a
+run can resume under *any* strategy — the weights are strategy-agnostic
+by construction (every strategy trains the same chunked model).
+
+Optimizer state is deliberately not serialised: it is sharded
+differently per strategy (DESIGN.md §3), so cross-strategy resumption
+restarts the optimizer — exactly what changing the parallelism layout
+mid-run costs in real systems too.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .nn.model import ModelConfig
+from .nn.params import ParamStruct
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_FORMAT_VERSION = 1
+
+
+def save_checkpoint(
+    path,
+    cfg: ModelConfig,
+    chunks: List[ParamStruct],
+    metadata: Dict | None = None,
+) -> None:
+    """Write ``chunks`` and ``cfg`` to ``path`` (.npz, compressed)."""
+    if len(chunks) != cfg.n_layers:
+        raise ValueError(
+            f"expected {cfg.n_layers} chunks for this config, got {len(chunks)}"
+        )
+    arrays: Dict[str, np.ndarray] = {}
+    for i, chunk in enumerate(chunks):
+        for name, arr in chunk.items():
+            arrays[f"chunk{i}/{name}"] = arr
+    cfg_dict = asdict(cfg)
+    cfg_dict["dtype"] = np.dtype(cfg.dtype).name
+    header = {
+        "version": _FORMAT_VERSION,
+        "config": cfg_dict,
+        "metadata": metadata or {},
+        "chunk_keys": [chunk.keys() for chunk in chunks],
+    }
+    arrays["__header__"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_checkpoint(path) -> Tuple[ModelConfig, List[ParamStruct], Dict]:
+    """Read a checkpoint; returns ``(config, chunks, metadata)``."""
+    with np.load(Path(path)) as data:
+        if "__header__" not in data:
+            raise ValueError(f"{path} is not a repro checkpoint")
+        header = json.loads(bytes(data["__header__"]).decode("utf-8"))
+        if header["version"] != _FORMAT_VERSION:
+            raise ValueError(
+                f"checkpoint version {header['version']} unsupported "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        cfg_dict = header["config"]
+        cfg_dict["dtype"] = np.dtype(cfg_dict["dtype"]).type
+        cfg = ModelConfig(**cfg_dict)
+        chunks: List[ParamStruct] = []
+        for i, keys in enumerate(header["chunk_keys"]):
+            chunks.append(
+                ParamStruct({name: data[f"chunk{i}/{name}"].copy() for name in keys})
+            )
+    return cfg, chunks, header["metadata"]

@@ -1,0 +1,216 @@
+"""Causal multi-head attention cores: materialised and streaming (Flash).
+
+Two numerically equivalent implementations of
+``softmax(q k^T / sqrt(d) + causal) v``:
+
+* :func:`attention_fwd` / :func:`attention_bwd` — the textbook version
+  that materialises the ``(S, S)`` probability matrix.  Its cache is
+  ``O(S^2)`` per head, which is exactly the memory blow-up Flash
+  Attention removes.
+
+* :func:`flash_attention_fwd` / :func:`flash_attention_bwd` — a
+  block-streaming version modelled on FlashAttention-2.  The forward
+  keeps only the output and the per-row log-sum-exp ``L`` (cache
+  ``O(S)``), and the backward recomputes each probability block from
+  ``q``, ``k`` and ``L``.
+
+The WeiPipe paper's memory analysis (Section 4, "Memory consumption")
+hinges on Flash Attention removing the ``S^2`` activations: with it
+enabled, FFN activations dominate and the zero-bubble baselines' peak
+memory doubles, which is why ZB1/ZB2 go OOM in Table 2.  Both variants
+are exercised by the equivalence tests; strategies pick one via
+``ModelConfig.flash_attention``.
+
+Shapes: ``q, k, v: (B, n_heads, S, head_dim)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "attention_fwd",
+    "attention_bwd",
+    "flash_attention_fwd",
+    "flash_attention_bwd",
+    "attention_block_fwd",
+    "attention_block_bwd",
+]
+
+
+# ---------------------------------------------------------------------------
+# materialised implementation
+
+
+def attention_fwd(
+    q: np.ndarray, k: np.ndarray, v: np.ndarray
+) -> Tuple[np.ndarray, tuple]:
+    """Causal attention materialising the probability matrix."""
+    head_dim = q.shape[-1]
+    seq = q.shape[-2]
+    scale = 1.0 / np.sqrt(head_dim)
+    scores = (q @ np.swapaxes(k, -1, -2)) * scale
+    mask = np.triu(np.ones((seq, seq), dtype=bool), k=1)
+    scores = np.where(mask, -np.inf, scores)
+    shifted = scores - scores.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    p = e / e.sum(axis=-1, keepdims=True)
+    out = p @ v
+    return out, (q, k, v, p, scale)
+
+
+def attention_bwd(
+    dout: np.ndarray, cache: tuple
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    q, k, v, p, scale = cache
+    dv = np.swapaxes(p, -1, -2) @ dout
+    dp = dout @ np.swapaxes(v, -1, -2)
+    # softmax backward; masked entries have p == 0 so they contribute 0.
+    inner = (dp * p).sum(axis=-1, keepdims=True)
+    dscores = p * (dp - inner)
+    dq = (dscores @ k) * scale
+    dk = (np.swapaxes(dscores, -1, -2) @ q) * scale
+    return dq, dk, dv
+
+
+# ---------------------------------------------------------------------------
+# block-causal implementation (sequence parallelism)
+
+
+def attention_block_fwd(
+    q: np.ndarray, k: np.ndarray, v: np.ndarray, row_offset: int
+) -> Tuple[np.ndarray, tuple]:
+    """Causal attention of a *query block* against full keys/values.
+
+    ``q`` holds positions ``row_offset .. row_offset + t - 1`` of the
+    sequence while ``k``/``v`` hold positions ``0 .. S-1`` — the shape
+    sequence parallelism produces after all-gathering K/V.  With
+    ``row_offset == 0`` and square shapes this reduces exactly to
+    :func:`attention_fwd`.
+    """
+    head_dim = q.shape[-1]
+    t_q, t_k = q.shape[-2], k.shape[-2]
+    if not (0 <= row_offset and row_offset + t_q <= t_k):
+        raise ValueError("query block does not fit inside the key range")
+    scale = 1.0 / np.sqrt(head_dim)
+    scores = (q @ np.swapaxes(k, -1, -2)) * scale
+    rows = row_offset + np.arange(t_q)[:, None]
+    cols = np.arange(t_k)[None, :]
+    mask = cols > rows
+    scores = np.where(mask, -np.inf, scores)
+    shifted = scores - scores.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    p = e / e.sum(axis=-1, keepdims=True)
+    out = p @ v
+    return out, (q, k, v, p, scale)
+
+
+def attention_block_bwd(
+    dout: np.ndarray, cache: tuple
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward of :func:`attention_block_fwd`.
+
+    Returns ``(dq, dk, dv)`` where ``dk``/``dv`` cover the *full* key
+    range — in sequence parallelism these partial contributions are
+    reduce-scattered back to the positions' owners.
+    """
+    q, k, v, p, scale = cache
+    dv = np.swapaxes(p, -1, -2) @ dout
+    dp = dout @ np.swapaxes(v, -1, -2)
+    inner = (dp * p).sum(axis=-1, keepdims=True)
+    dscores = p * (dp - inner)
+    dq = (dscores @ k) * scale
+    dk = (np.swapaxes(dscores, -1, -2) @ q) * scale
+    return dq, dk, dv
+
+
+# ---------------------------------------------------------------------------
+# streaming (Flash-style) implementation
+
+
+def flash_attention_fwd(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    block: int = 128,
+) -> Tuple[np.ndarray, tuple]:
+    """Causal attention streamed over key blocks.
+
+    Keeps a running row-max ``m`` and normaliser ``l``; never holds more
+    than one ``(S, block)`` score panel at a time.  The cache stores only
+    ``q, k, v, out`` and the per-row log-sum-exp — the ``O(S)`` footprint
+    that Flash Attention is prized for.
+    """
+    head_dim = q.shape[-1]
+    seq = q.shape[-2]
+    scale = 1.0 / np.sqrt(head_dim)
+    lead = q.shape[:-2]
+
+    out = np.zeros_like(q)
+    m = np.full(lead + (seq,), -np.inf, dtype=q.dtype)
+    l = np.zeros(lead + (seq,), dtype=q.dtype)
+    rows = np.arange(seq)
+
+    for j0 in range(0, seq, block):
+        j1 = min(j0 + block, seq)
+        kb = k[..., j0:j1, :]
+        vb = v[..., j0:j1, :]
+        scores = (q @ np.swapaxes(kb, -1, -2)) * scale
+        cols = np.arange(j0, j1)
+        masked = cols[None, :] > rows[:, None]
+        scores = np.where(masked, -np.inf, scores)
+
+        m_new = np.maximum(m, scores.max(axis=-1))
+        # fully masked rows (above the diagonal of the first block) keep
+        # m == -inf; exp(-inf - -inf) would be NaN, so guard those rows.
+        safe_m = np.where(np.isinf(m_new), 0.0, m_new)
+        alpha = np.where(np.isinf(m), 0.0, np.exp(m - safe_m))
+        p = np.exp(scores - safe_m[..., None])
+        p = np.where(masked, 0.0, p)
+        l = l * alpha + p.sum(axis=-1)
+        out = out * alpha[..., None] + p @ vb
+        m = m_new
+
+    # every causal row attends to at least itself, so l > 0.
+    out = out / l[..., None]
+    logsumexp = m + np.log(l)
+    return out, (q, k, v, out, logsumexp, scale, block)
+
+
+def flash_attention_bwd(
+    dout: np.ndarray, cache: tuple
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward of :func:`flash_attention_fwd`, recomputing score blocks.
+
+    Uses the FlashAttention-2 identity: with ``delta = rowsum(dout*out)``,
+    ``dscores = p * (dout @ v^T - delta)`` where ``p`` is rebuilt per block
+    from the stored log-sum-exp.
+    """
+    q, k, v, out, logsumexp, scale, block = cache
+    seq = q.shape[-2]
+    rows = np.arange(seq)
+    delta = (dout * out).sum(axis=-1)
+
+    dq = np.zeros_like(q)
+    dk = np.zeros_like(k)
+    dv = np.zeros_like(v)
+
+    for j0 in range(0, seq, block):
+        j1 = min(j0 + block, seq)
+        kb = k[..., j0:j1, :]
+        vb = v[..., j0:j1, :]
+        scores = (q @ np.swapaxes(kb, -1, -2)) * scale
+        cols = np.arange(j0, j1)
+        masked = cols[None, :] > rows[:, None]
+        p = np.exp(scores - logsumexp[..., None])
+        p = np.where(masked, 0.0, p)
+
+        dv[..., j0:j1, :] += np.swapaxes(p, -1, -2) @ dout
+        dp = dout @ np.swapaxes(vb, -1, -2)
+        dscores = p * (dp - delta[..., None])
+        dq += (dscores @ kb) * scale
+        dk[..., j0:j1, :] += (np.swapaxes(dscores, -1, -2) @ q) * scale
+
+    return dq, dk, dv

@@ -1,0 +1,94 @@
+"""Activation recomputation (gradient checkpointing).
+
+The paper enables recomputation for 1F1B, FSDP and WeiPipe (but *not*
+for the zero-bubble baselines, where it saves nothing and only adds
+compute — see Section 5).  Recomputation stores only each chunk's
+*input* during the forward pass and re-runs the forward inside the
+backward to rebuild the cache, trading one extra forward for an
+``O(caches)`` → ``O(boundary activations)`` memory reduction.
+
+:class:`CheckpointedChunk` wraps the chunk-level fwd/bwd of
+:mod:`repro.nn.model` behind the same interface, so strategies toggle
+recomputation with a flag instead of branching.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .model import (
+    ModelConfig,
+    chunk_bwd,
+    chunk_bwd_input,
+    chunk_bwd_weight,
+    chunk_fwd,
+)
+from .params import ParamStruct
+
+__all__ = ["CheckpointedChunk"]
+
+
+class CheckpointedChunk:
+    """Uniform chunk fwd/bwd with optional recomputation.
+
+    With ``recompute=False`` the full forward cache is kept (classical
+    behaviour).  With ``recompute=True`` only the chunk input is kept and
+    the cache is rebuilt on demand in :meth:`bwd` / :meth:`bwd_input`.
+
+    Note the cache rebuilt during backward needs the *same weights* the
+    forward used.  WeiPipe guarantees this because the backward weight
+    flow delivers exactly the pre-update weights; classical pipelines
+    keep their stage weights in place across the iteration.
+    """
+
+    def __init__(self, cfg: ModelConfig, recompute: bool = False):
+        self.cfg = cfg
+        self.recompute = recompute
+
+    def fwd(
+        self,
+        idx: int,
+        w: ParamStruct,
+        x: np.ndarray,
+        cos: np.ndarray,
+        sin: np.ndarray,
+    ) -> Tuple[np.ndarray, tuple]:
+        """Forward chunk ``idx``; the returned state feeds :meth:`bwd`."""
+        y, cache = chunk_fwd(self.cfg, idx, w, x, cos, sin)
+        if self.recompute:
+            # keep only the boundary input; drop the heavy cache.
+            return y, ("recompute", x, cos, sin)
+        return y, ("full", cache)
+
+    def _materialize(self, idx: int, w: ParamStruct, state: tuple) -> tuple:
+        kind = state[0]
+        if kind == "full":
+            return state[1]
+        _, x, cos, sin = state
+        _, cache = chunk_fwd(self.cfg, idx, w, x, cos, sin)
+        return cache
+
+    def bwd(
+        self, idx: int, w: ParamStruct, dy: np.ndarray, state: tuple
+    ) -> Tuple[Optional[np.ndarray], ParamStruct]:
+        """Fused backward (B + W) with recomputation if enabled."""
+        cache = self._materialize(idx, w, state)
+        return chunk_bwd(self.cfg, idx, w, dy, cache)
+
+    def bwd_input(
+        self, idx: int, w: ParamStruct, dy: np.ndarray, state: tuple
+    ) -> Tuple[Optional[np.ndarray], tuple, dict]:
+        """Decoupled B pass; returns ``(dx, cache, wcache)``.
+
+        The materialised ``cache`` is returned so the later W pass does
+        not recompute the forward a second time.
+        """
+        cache = self._materialize(idx, w, state)
+        dx, wcache = chunk_bwd_input(self.cfg, idx, w, dy, cache)
+        return dx, cache, wcache
+
+    def bwd_weight(self, idx: int, cache: tuple, wcache: dict) -> ParamStruct:
+        """Decoupled W pass (cache must come from :meth:`bwd_input`)."""
+        return chunk_bwd_weight(self.cfg, idx, cache, wcache)

@@ -1,0 +1,281 @@
+"""A Llama-style transformer decoder layer with decoupled backward passes.
+
+The layer is the unit WeiPipe pipelines: its weights form one ring chunk
+(~``12 H^2`` parameters, the figure the paper's communication analysis
+uses), and its backward is available in two forms:
+
+* :func:`layer_bwd` — the fused backward every classical pipeline uses
+  (compute ``dx`` and all weight gradients together),
+* :func:`layer_bwd_input` (the **B pass**) + :func:`layer_bwd_weight`
+  (the **W pass**) — the decoupled form required by zero-bubble
+  schedules (ZB1/ZB2/WZB1/WZB2).  The B pass produces ``dx`` plus a
+  *W-cache* of (input, upstream-gradient) pairs; the W pass later turns
+  the W-cache into weight gradients with pure GEMMs and needs **no
+  weights at all** — the property that lets zero-bubble schedules defer
+  it arbitrarily.
+
+Layer structure (pre-norm Llama):
+
+.. code-block:: text
+
+    h1 = rmsnorm(x, attn_norm)
+    q, k, v = h1 Wq, h1 Wk, h1 Wv      (reshape to heads, RoPE on q,k)
+    o = attention(q, k, v) Wo
+    x2 = x + o
+    h2 = rmsnorm(x2, ffn_norm)
+    y  = x2 + (silu(h2 Wgate) * (h2 Wup)) Wdown
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from . import functional as F
+from .attention import (
+    attention_bwd,
+    attention_fwd,
+    flash_attention_bwd,
+    flash_attention_fwd,
+)
+from .params import ParamStruct
+from .rope import rope_apply, rope_apply_bwd
+
+__all__ = [
+    "init_layer_weights",
+    "layer_param_count",
+    "layer_fwd",
+    "layer_bwd",
+    "layer_bwd_input",
+    "layer_bwd_weight",
+]
+
+
+def init_layer_weights(
+    hidden: int, ffn: int, rng: np.random.Generator, dtype=np.float64
+) -> ParamStruct:
+    """Initialise one decoder layer (scaled-normal init, Llama-style)."""
+    std = 0.02
+
+    def normal(*shape):
+        return rng.normal(0.0, std, size=shape).astype(dtype)
+
+    return ParamStruct(
+        {
+            "attn_norm": np.ones(hidden, dtype=dtype),
+            "wq": normal(hidden, hidden),
+            "wk": normal(hidden, hidden),
+            "wv": normal(hidden, hidden),
+            "wo": normal(hidden, hidden),
+            "ffn_norm": np.ones(hidden, dtype=dtype),
+            "w_gate": normal(hidden, ffn),
+            "w_up": normal(hidden, ffn),
+            "w_down": normal(ffn, hidden),
+        }
+    )
+
+
+def layer_param_count(hidden: int, ffn: int) -> int:
+    """Exact parameter count of one layer: ``4H^2 + 3HF + 2H``.
+
+    With the Llama ratio ``F = 8H/3`` this is the ``12 H^2`` the paper
+    quotes for the per-layer weight chunk.
+    """
+    return 4 * hidden * hidden + 3 * hidden * ffn + 2 * hidden
+
+
+def _to_heads(x: np.ndarray, n_heads: int) -> np.ndarray:
+    """(G, S, H) -> (G, n_heads, S, head_dim)."""
+    g, s, h = x.shape
+    return x.reshape(g, s, n_heads, h // n_heads).transpose(0, 2, 1, 3)
+
+
+def _from_heads(x: np.ndarray) -> np.ndarray:
+    """(G, n_heads, S, head_dim) -> (G, S, H)."""
+    g, nh, s, hd = x.shape
+    return x.transpose(0, 2, 1, 3).reshape(g, s, nh * hd)
+
+
+def layer_fwd(
+    w: ParamStruct,
+    x: np.ndarray,
+    n_heads: int,
+    cos: np.ndarray,
+    sin: np.ndarray,
+    flash: bool = False,
+    flash_block: int = 128,
+) -> Tuple[np.ndarray, tuple]:
+    """Forward one decoder layer.  ``x: (G, S, H)``.
+
+    Returns ``(y, cache)`` where ``cache`` holds the tensors the backward
+    needs.  With ``flash=True`` the attention cache is ``O(S)`` per row
+    instead of ``O(S^2)``.
+    """
+    h1, c_norm1 = F.rmsnorm_fwd(x, w["attn_norm"])
+    q, c_q = F.linear_fwd(h1, w["wq"])
+    k, c_k = F.linear_fwd(h1, w["wk"])
+    v, c_v = F.linear_fwd(h1, w["wv"])
+
+    qh = rope_apply(_to_heads(q, n_heads), cos, sin)
+    kh = rope_apply(_to_heads(k, n_heads), cos, sin)
+    vh = _to_heads(v, n_heads)
+
+    if flash:
+        attn, c_attn = flash_attention_fwd(qh, kh, vh, block=flash_block)
+    else:
+        attn, c_attn = attention_fwd(qh, kh, vh)
+    attn_flat = _from_heads(attn)
+    o, c_o = F.linear_fwd(attn_flat, w["wo"])
+    x2 = x + o
+
+    h2, c_norm2 = F.rmsnorm_fwd(x2, w["ffn_norm"])
+    gate, c_gate = F.linear_fwd(h2, w["w_gate"])
+    up, c_up = F.linear_fwd(h2, w["w_up"])
+    act, c_act = F.silu_fwd(gate)
+    f = act * up
+    d, c_down = F.linear_fwd(f, w["w_down"])
+    y = x2 + d
+
+    cache = (
+        n_heads,
+        cos,
+        sin,
+        flash,
+        c_norm1,
+        c_q,
+        c_k,
+        c_v,
+        c_attn,
+        c_o,
+        c_norm2,
+        c_gate,
+        c_up,
+        c_act,
+        up,
+        act,
+        c_down,
+    )
+    return y, cache
+
+
+def layer_bwd_input(
+    w: ParamStruct, dy: np.ndarray, cache: tuple
+) -> Tuple[np.ndarray, dict]:
+    """The **B pass**: gradient w.r.t. the layer input.
+
+    Returns ``(dx, wcache)``.  ``wcache`` maps parameter names to the
+    upstream gradients (and, via the forward cache, inputs) the W pass
+    needs; it contains *no* references to the weights themselves.
+    """
+    (
+        n_heads,
+        cos,
+        sin,
+        flash,
+        c_norm1,
+        c_q,
+        c_k,
+        c_v,
+        c_attn,
+        c_o,
+        c_norm2,
+        c_gate,
+        c_up,
+        c_act,
+        up,
+        act,
+        c_down,
+    ) = cache
+
+    # FFN branch: y = x2 + (silu(h2 Wg) * (h2 Wu)) Wd
+    dd = dy
+    df = F.linear_bwd_input(dd, w["w_down"])
+    dact = df * up
+    dup = df * act
+    dgate = F.silu_bwd(dact, c_act)
+    dh2 = F.linear_bwd_input(dgate, w["w_gate"]) + F.linear_bwd_input(
+        dup, w["w_up"]
+    )
+    dx2 = dy + F.rmsnorm_bwd_input(dh2, c_norm2)
+
+    # attention branch: x2 = x + attn(h1) Wo
+    do = dx2
+    dattn_flat = F.linear_bwd_input(do, w["wo"])
+    dattn = _to_heads(dattn_flat, n_heads)
+    if flash:
+        dqh, dkh, dvh = flash_attention_bwd(dattn, c_attn)
+    else:
+        dqh, dkh, dvh = attention_bwd(dattn, c_attn)
+    dq = _from_heads(rope_apply_bwd(dqh, cos, sin))
+    dk = _from_heads(rope_apply_bwd(dkh, cos, sin))
+    dv = _from_heads(dvh)
+    dh1 = (
+        F.linear_bwd_input(dq, w["wq"])
+        + F.linear_bwd_input(dk, w["wk"])
+        + F.linear_bwd_input(dv, w["wv"])
+    )
+    dx = dx2 + F.rmsnorm_bwd_input(dh1, c_norm1)
+
+    wcache = {
+        "d_down": dd,
+        "d_gate": dgate,
+        "d_up": dup,
+        "d_h2": dh2,
+        "d_o": do,
+        "d_q": dq,
+        "d_k": dk,
+        "d_v": dv,
+        "d_h1": dh1,
+    }
+    return dx, wcache
+
+
+def layer_bwd_weight(cache: tuple, wcache: dict) -> ParamStruct:
+    """The **W pass**: weight gradients from cached inputs + B-pass grads.
+
+    Pure GEMMs/reductions; uses no weights, so a zero-bubble schedule may
+    run it long after the weights have left the worker.
+    """
+    (
+        _n_heads,
+        _cos,
+        _sin,
+        _flash,
+        c_norm1,
+        c_q,
+        c_k,
+        c_v,
+        _c_attn,
+        c_o,
+        c_norm2,
+        c_gate,
+        c_up,
+        _c_act,
+        _up,
+        _act,
+        c_down,
+    ) = cache
+
+    return ParamStruct(
+        {
+            "attn_norm": F.rmsnorm_bwd_weight(wcache["d_h1"], c_norm1),
+            "wq": F.linear_bwd_weight(c_q[0], wcache["d_q"]),
+            "wk": F.linear_bwd_weight(c_k[0], wcache["d_k"]),
+            "wv": F.linear_bwd_weight(c_v[0], wcache["d_v"]),
+            "wo": F.linear_bwd_weight(c_o[0], wcache["d_o"]),
+            "ffn_norm": F.rmsnorm_bwd_weight(wcache["d_h2"], c_norm2),
+            "w_gate": F.linear_bwd_weight(c_gate[0], wcache["d_gate"]),
+            "w_up": F.linear_bwd_weight(c_up[0], wcache["d_up"]),
+            "w_down": F.linear_bwd_weight(c_down[0], wcache["d_down"]),
+        }
+    )
+
+
+def layer_bwd(
+    w: ParamStruct, dy: np.ndarray, cache: tuple
+) -> Tuple[np.ndarray, ParamStruct]:
+    """Fused backward: B pass immediately followed by W pass."""
+    dx, wcache = layer_bwd_input(w, dy, cache)
+    grads = layer_bwd_weight(cache, wcache)
+    return dx, grads

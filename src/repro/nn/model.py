@@ -1,0 +1,269 @@
+"""Llama-style model assembled from per-layer weight chunks.
+
+The model is deliberately stored as a ``list`` of per-layer
+:class:`~repro.nn.params.ParamStruct` chunks rather than one flat bag of
+weights, because *the chunk is the unit every strategy in the paper
+moves around*: WeiPipe circulates chunks on the ring, pipeline baselines
+assign contiguous chunk ranges to stages, FSDP shards each chunk.
+
+Chunk 0 additionally carries the token embedding; the last chunk carries
+the final RMSNorm and the LM head.  In classical pipeline parallelism
+these naturally live on the first/last stage; in WeiPipe they ride the
+ring with their layer, exactly like the paper's implementation where
+every worker runs the full model for its own microbatches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from . import functional as F
+from .layer import (
+    init_layer_weights,
+    layer_bwd,
+    layer_bwd_input,
+    layer_bwd_weight,
+    layer_fwd,
+    layer_param_count,
+)
+from .params import ParamStruct
+from .rope import rope_angles
+
+__all__ = [
+    "ModelConfig",
+    "default_ffn",
+    "rope_tables",
+    "init_model",
+    "model_param_count",
+    "chunk_fwd",
+    "chunk_bwd",
+    "chunk_bwd_input",
+    "chunk_bwd_weight",
+    "model_fwd",
+    "model_loss_and_grads",
+]
+
+
+def default_ffn(hidden: int) -> int:
+    """Llama FFN width: ``8H/3`` rounded up to a multiple of 8.
+
+    Chosen so the three FFN matrices total ~``8 H^2`` parameters and the
+    full layer ~``12 H^2`` — the figure the paper's analysis uses.
+    """
+    return int(-(-8 * hidden // 3) // 8 * 8) or 8
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Static description of the model and numerics.
+
+    ``hidden``/``n_layers``/``n_heads``/``seq_len``/``vocab`` follow the
+    paper's ``H``/``L``/heads/``S``/vocab.  ``dtype`` is the compute
+    dtype (float64 for gradient checks, float32 for training runs);
+    reduced-precision *storage* is layered on top by
+    :class:`~repro.nn.precision.PrecisionPolicy`.
+    """
+
+    hidden: int
+    n_layers: int
+    n_heads: int
+    seq_len: int
+    vocab: int
+    ffn: Optional[int] = None
+    flash_attention: bool = False
+    flash_block: int = 128
+    rope_base: float = 10000.0
+    dtype: type = np.float64
+
+    def __post_init__(self):
+        if self.hidden % self.n_heads != 0:
+            raise ValueError("hidden must be divisible by n_heads")
+        if (self.hidden // self.n_heads) % 2 != 0:
+            raise ValueError("head dimension must be even (RoPE)")
+        if self.ffn is None:
+            object.__setattr__(self, "ffn", default_ffn(self.hidden))
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden // self.n_heads
+
+    def with_(self, **kw) -> "ModelConfig":
+        return replace(self, **kw)
+
+
+def rope_tables(cfg: ModelConfig) -> Tuple[np.ndarray, np.ndarray]:
+    """cos/sin tables for ``cfg`` in its compute dtype."""
+    return rope_angles(cfg.seq_len, cfg.head_dim, cfg.rope_base, cfg.dtype)
+
+
+def init_model(cfg: ModelConfig, seed: int = 0) -> List[ParamStruct]:
+    """Initialise all chunks deterministically from ``seed``."""
+    rng = np.random.default_rng(seed)
+    std = 0.02
+    chunks: List[ParamStruct] = []
+    for i in range(cfg.n_layers):
+        w = init_layer_weights(cfg.hidden, cfg.ffn, rng, cfg.dtype)
+        if i == 0:
+            w["embed"] = rng.normal(
+                0.0, std, size=(cfg.vocab, cfg.hidden)
+            ).astype(cfg.dtype)
+        if i == cfg.n_layers - 1:
+            w["final_norm"] = np.ones(cfg.hidden, dtype=cfg.dtype)
+            w["head"] = rng.normal(
+                0.0, std, size=(cfg.hidden, cfg.vocab)
+            ).astype(cfg.dtype)
+        chunks.append(w)
+    return chunks
+
+
+def model_param_count(cfg: ModelConfig) -> int:
+    """Total parameter count including embedding and head."""
+    per_layer = layer_param_count(cfg.hidden, cfg.ffn)
+    extras = cfg.vocab * cfg.hidden * 2 + cfg.hidden  # embed + head + norm
+    return per_layer * cfg.n_layers + extras
+
+
+# ---------------------------------------------------------------------------
+# chunk-level forward / backward
+
+
+def chunk_fwd(
+    cfg: ModelConfig,
+    idx: int,
+    w: ParamStruct,
+    x: np.ndarray,
+    cos: np.ndarray,
+    sin: np.ndarray,
+) -> Tuple[np.ndarray, tuple]:
+    """Forward chunk ``idx``.
+
+    Chunk 0 receives integer tokens ``(G, S)`` and embeds them; the last
+    chunk emits logits ``(G, S, V)``.  Interior chunks map hidden states
+    to hidden states.
+    """
+    caches: list = []
+    if idx == 0:
+        x, c_embed = F.embedding_fwd(x, w["embed"])
+        caches.append(("embed", c_embed))
+
+    y, c_layer = layer_fwd(
+        w, x, cfg.n_heads, cos, sin, cfg.flash_attention, cfg.flash_block
+    )
+    caches.append(("layer", c_layer))
+
+    if idx == cfg.n_layers - 1:
+        h, c_norm = F.rmsnorm_fwd(y, w["final_norm"])
+        logits, c_head = F.linear_fwd(h, w["head"])
+        caches.append(("final_norm", c_norm))
+        caches.append(("head", c_head))
+        y = logits
+    return y, tuple(caches)
+
+
+def chunk_bwd_input(
+    cfg: ModelConfig,
+    idx: int,
+    w: ParamStruct,
+    dy: np.ndarray,
+    cache: tuple,
+) -> Tuple[Optional[np.ndarray], dict]:
+    """B pass for chunk ``idx``: gradient w.r.t. the chunk input.
+
+    For chunk 0 the input is integer tokens, so ``dx`` is ``None`` (the
+    embedding gradient is produced by the W pass).
+    """
+    parts = dict(cache)
+    wcache: dict = {}
+
+    if idx == cfg.n_layers - 1:
+        dh = F.linear_bwd_input(dy, w["head"])
+        wcache["d_head"] = dy
+        dyl = F.rmsnorm_bwd_input(dh, parts["final_norm"])
+        wcache["d_final_norm"] = dh
+        dy = dyl
+
+    dx, layer_wcache = layer_bwd_input(w, dy, parts["layer"])
+    wcache["layer"] = layer_wcache
+
+    if idx == 0:
+        wcache["d_embed"] = dx
+        dx = None
+    return dx, wcache
+
+
+def chunk_bwd_weight(
+    cfg: ModelConfig, idx: int, cache: tuple, wcache: dict
+) -> ParamStruct:
+    """W pass for chunk ``idx``: weight gradients (no weights needed)."""
+    parts = dict(cache)
+    grads = layer_bwd_weight(parts["layer"], wcache["layer"])
+    if idx == 0:
+        grads["embed"] = F.embedding_bwd(wcache["d_embed"], parts["embed"])
+    if idx == cfg.n_layers - 1:
+        grads["final_norm"] = F.rmsnorm_bwd_weight(
+            wcache["d_final_norm"], parts["final_norm"]
+        )
+        grads["head"] = F.linear_bwd_weight(
+            parts["head"][0], wcache["d_head"]
+        )
+    return grads
+
+
+def chunk_bwd(
+    cfg: ModelConfig,
+    idx: int,
+    w: ParamStruct,
+    dy: np.ndarray,
+    cache: tuple,
+) -> Tuple[Optional[np.ndarray], ParamStruct]:
+    """Fused backward for chunk ``idx``."""
+    dx, wcache = chunk_bwd_input(cfg, idx, w, dy, cache)
+    grads = chunk_bwd_weight(cfg, idx, cache, wcache)
+    return dx, grads
+
+
+# ---------------------------------------------------------------------------
+# serial whole-model helpers (the ground-truth baseline)
+
+
+def model_fwd(
+    cfg: ModelConfig,
+    chunks: List[ParamStruct],
+    tokens: np.ndarray,
+    cos: np.ndarray,
+    sin: np.ndarray,
+) -> Tuple[np.ndarray, List[tuple]]:
+    """Serial forward through all chunks; returns logits and caches."""
+    x = tokens
+    caches: List[tuple] = []
+    for i, w in enumerate(chunks):
+        x, c = chunk_fwd(cfg, i, w, x, cos, sin)
+        caches.append(c)
+    return x, caches
+
+
+def model_loss_and_grads(
+    cfg: ModelConfig,
+    chunks: List[ParamStruct],
+    tokens: np.ndarray,
+    targets: np.ndarray,
+    cos: Optional[np.ndarray] = None,
+    sin: Optional[np.ndarray] = None,
+) -> Tuple[float, List[ParamStruct]]:
+    """Serial loss + full gradients for one microbatch.
+
+    This is the reference every distributed strategy must reproduce.
+    """
+    if cos is None or sin is None:
+        cos, sin = rope_tables(cfg)
+    logits, caches = model_fwd(cfg, chunks, tokens, cos, sin)
+    loss, c_loss = F.cross_entropy_fwd(logits, targets)
+    dy = F.cross_entropy_bwd(1.0, c_loss)
+    grads: List[Optional[ParamStruct]] = [None] * cfg.n_layers
+    for i in range(cfg.n_layers - 1, -1, -1):
+        dy, g = chunk_bwd(cfg, i, chunks[i], dy, caches[i])
+        grads[i] = g
+    return loss, grads  # type: ignore[return-value]

@@ -1,0 +1,154 @@
+"""Named-parameter containers with flat pack/unpack.
+
+WeiPipe ships whole layers of weights (and weight gradients) around the
+ring as single contiguous buffers, and FSDP shards flat buffers across
+workers.  :class:`ParamStruct` is the common currency: an ordered mapping
+``name -> ndarray`` that can be packed to / unpacked from one flat
+vector with a stable layout, so every strategy exchanges exactly the
+bytes a real implementation would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+__all__ = ["ParamStruct"]
+
+
+class ParamStruct:
+    """An ordered, named collection of NumPy arrays.
+
+    Supports elementwise arithmetic (used for gradient accumulation and
+    optimizer updates), flat packing (used for ring messages and
+    sharding) and structural cloning.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Dict[str, np.ndarray] | None = None):
+        self._data: Dict[str, np.ndarray] = dict(data or {})
+
+    # -- mapping protocol ---------------------------------------------------
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._data[name]
+
+    def __setitem__(self, name: str, value: np.ndarray) -> None:
+        self._data[name] = value
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._data
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self) -> List[str]:
+        return list(self._data.keys())
+
+    def items(self) -> List[Tuple[str, np.ndarray]]:
+        return list(self._data.items())
+
+    def values(self) -> List[np.ndarray]:
+        return list(self._data.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}:{tuple(v.shape)}" for k, v in self._data.items())
+        return f"ParamStruct({inner})"
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def numel(self) -> int:
+        """Total number of scalar elements across all arrays."""
+        return sum(int(v.size) for v in self._data.values())
+
+    def nbytes(self, bytes_per_element: int) -> int:
+        """Logical message size if elements were stored at the given width."""
+        return self.numel * bytes_per_element
+
+    def clone(self) -> "ParamStruct":
+        return ParamStruct({k: v.copy() for k, v in self._data.items()})
+
+    def zeros_like(self) -> "ParamStruct":
+        return ParamStruct(
+            {k: np.zeros_like(v) for k, v in self._data.items()}
+        )
+
+    def astype(self, dtype) -> "ParamStruct":
+        return ParamStruct(
+            {k: v.astype(dtype) for k, v in self._data.items()}
+        )
+
+    def map(self, fn) -> "ParamStruct":
+        """Apply ``fn`` to every array, returning a new struct."""
+        return ParamStruct({k: fn(v) for k, v in self._data.items()})
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def add_(self, other: "ParamStruct", scale: float = 1.0) -> "ParamStruct":
+        """In-place ``self += scale * other`` (matching keys required)."""
+        if self.keys() != other.keys():
+            raise KeyError("ParamStruct key mismatch in add_")
+        for k in self._data:
+            self._data[k] += scale * other[k]
+        return self
+
+    def scale_(self, scale: float) -> "ParamStruct":
+        for k in self._data:
+            self._data[k] *= scale
+        return self
+
+    def zero_(self) -> "ParamStruct":
+        for k in self._data:
+            self._data[k][...] = 0.0
+        return self
+
+    # -- flat packing -------------------------------------------------------
+
+    def pack(self, dtype=np.float32) -> np.ndarray:
+        """Concatenate all arrays (in key order) into one flat vector."""
+        if not self._data:
+            return np.zeros(0, dtype=dtype)
+        return np.concatenate(
+            [v.reshape(-1).astype(dtype, copy=False) for v in self._data.values()]
+        )
+
+    def unpack_from(self, flat: np.ndarray) -> "ParamStruct":
+        """Fill a structural copy of ``self`` from a flat vector."""
+        if flat.size != self.numel:
+            raise ValueError(
+                f"flat buffer has {flat.size} elements, expected {self.numel}"
+            )
+        out: Dict[str, np.ndarray] = {}
+        offset = 0
+        for k, v in self._data.items():
+            n = int(v.size)
+            out[k] = flat[offset : offset + n].reshape(v.shape).astype(
+                v.dtype, copy=False
+            ).copy()
+            offset += n
+        return ParamStruct(out)
+
+    # -- comparison (testing) -------------------------------------------------
+
+    def allclose(self, other: "ParamStruct", rtol=1e-7, atol=1e-9) -> bool:
+        if self.keys() != other.keys():
+            return False
+        return all(
+            np.allclose(self[k], other[k], rtol=rtol, atol=atol)
+            for k in self._data
+        )
+
+    def max_abs_diff(self, other: "ParamStruct") -> float:
+        if self.keys() != other.keys():
+            raise KeyError("ParamStruct key mismatch")
+        diffs = [
+            float(np.max(np.abs(self[k] - other[k]))) if self[k].size else 0.0
+            for k in self._data
+        ]
+        return max(diffs) if diffs else 0.0

@@ -1,0 +1,155 @@
+"""Reduced-precision emulation for the WeiPipe reproduction.
+
+The paper trains with mixed precision (Section 5, "Implementation"):
+
+* activations ``A``, weights ``W`` and gradients of weights ``D`` in fp16,
+* gradients of activations ``B`` in bf16,
+* optimizer states in fp32.
+
+Real GPUs store those tensors in 16-bit formats while tensor cores
+accumulate in fp32.  We emulate the same numerics on NumPy: tensors are
+*stored* quantised to the target format but all arithmetic happens in
+float32 (or float64 for validation runs).  Quantisation is a value-level
+round trip, so the rounding error injected matches what the 16-bit
+formats would introduce, and message sizes in the runtime can be computed
+from the logical format rather than the NumPy dtype.
+
+The :class:`PrecisionPolicy` object threads through the training
+strategies so the same code path runs exact fp32/fp64 (for equivalence
+tests against the serial baseline) or paper-faithful mixed precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "quantize",
+    "bf16_round",
+    "fp16_round",
+    "dtype_bytes",
+    "PrecisionPolicy",
+    "FP32",
+    "FP64",
+    "MIXED",
+]
+
+
+def fp16_round(x: np.ndarray) -> np.ndarray:
+    """Round ``x`` to the nearest IEEE fp16 value, returned as float32.
+
+    Values outside the fp16 range saturate to +-65504 rather than
+    overflowing to inf, matching the saturating cast used by training
+    frameworks for weight storage.
+    """
+    clipped = np.clip(x, -65504.0, 65504.0)
+    return clipped.astype(np.float16).astype(np.float32)
+
+
+def bf16_round(x: np.ndarray) -> np.ndarray:
+    """Round ``x`` to the nearest bfloat16 value, returned as float32.
+
+    bfloat16 keeps the float32 exponent and truncates the mantissa to
+    7 bits.  We implement round-to-nearest-even on the raw bit pattern,
+    the same behaviour as hardware bf16 converts.
+    """
+    x32 = np.ascontiguousarray(x, dtype=np.float32)
+    bits = x32.view(np.uint32)
+    # round-to-nearest-even: add half ulp (of the truncated format) plus
+    # the parity bit of the surviving mantissa lsb, then truncate.
+    lsb = (bits >> np.uint32(16)) & np.uint32(1)
+    rounded = bits + np.uint32(0x7FFF) + lsb
+    out = (rounded & np.uint32(0xFFFF0000)).view(np.float32)
+    # NaN inputs must stay NaN (the addition above can wrap the payload).
+    out = np.where(np.isnan(x32), np.float32(np.nan), out)
+    return out.copy()
+
+
+_QUANTIZERS = {
+    "fp16": fp16_round,
+    "bf16": bf16_round,
+    "fp32": lambda x: np.asarray(x, dtype=np.float32),
+    "fp64": lambda x: np.asarray(x, dtype=np.float64),
+}
+
+_BYTES = {"fp16": 2, "bf16": 2, "fp32": 4, "fp64": 8}
+
+
+def quantize(x: np.ndarray, fmt: str) -> np.ndarray:
+    """Quantise ``x`` to logical format ``fmt`` (stored as float32/64)."""
+    try:
+        fn = _QUANTIZERS[fmt]
+    except KeyError:
+        raise ValueError(f"unknown precision format {fmt!r}") from None
+    return fn(x)
+
+
+def dtype_bytes(fmt: str) -> int:
+    """Bytes per element of logical format ``fmt`` (for message sizing)."""
+    try:
+        return _BYTES[fmt]
+    except KeyError:
+        raise ValueError(f"unknown precision format {fmt!r}") from None
+
+
+@dataclass(frozen=True)
+class PrecisionPolicy:
+    """Which logical format each tensor class is stored in.
+
+    Attributes mirror the paper's notation: ``A`` activations, ``B``
+    gradients of activations, ``W`` weights, ``D`` gradients of weights.
+    ``master`` is the optimizer-state / master-weight format.
+    """
+
+    activations: str = "fp32"
+    act_grads: str = "fp32"
+    weights: str = "fp32"
+    weight_grads: str = "fp32"
+    master: str = "fp32"
+
+    def q_act(self, x: np.ndarray) -> np.ndarray:
+        return quantize(x, self.activations)
+
+    def q_act_grad(self, x: np.ndarray) -> np.ndarray:
+        return quantize(x, self.act_grads)
+
+    def q_weight(self, x: np.ndarray) -> np.ndarray:
+        return quantize(x, self.weights)
+
+    def q_weight_grad(self, x: np.ndarray) -> np.ndarray:
+        return quantize(x, self.weight_grads)
+
+    @property
+    def weight_bytes(self) -> int:
+        return dtype_bytes(self.weights)
+
+    @property
+    def act_bytes(self) -> int:
+        return dtype_bytes(self.activations)
+
+    @property
+    def act_grad_bytes(self) -> int:
+        return dtype_bytes(self.act_grads)
+
+    @property
+    def weight_grad_bytes(self) -> int:
+        return dtype_bytes(self.weight_grads)
+
+
+#: Exact single precision everywhere — used by equivalence tests.
+FP32 = PrecisionPolicy()
+
+#: Exact double precision everywhere — used by gradient checks.
+FP64 = PrecisionPolicy("fp64", "fp64", "fp64", "fp64", "fp64")
+
+#: The paper's mixed-precision layout (Section 5): A/W/D fp16, B bf16,
+#: optimizer states fp32.
+MIXED = PrecisionPolicy(
+    activations="fp16",
+    act_grads="bf16",
+    weights="fp16",
+    weight_grads="fp16",
+    master="fp32",
+)

@@ -1,0 +1,59 @@
+"""Rotary positional embeddings (RoPE), as used by Llama-style models.
+
+RoPE rotates each consecutive pair of channels of q and k by a
+position-dependent angle.  It is a per-position orthogonal linear map, so
+its backward is rotation by the negative angle and it needs no cached
+activations — only the (cheap, recomputable) angle tables.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["rope_angles", "rope_apply", "rope_apply_bwd"]
+
+
+def rope_angles(
+    seq_len: int, head_dim: int, base: float = 10000.0, dtype=np.float64
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Precompute ``cos``/``sin`` tables of shape ``(seq_len, head_dim//2)``.
+
+    ``head_dim`` must be even; pair ``i`` rotates with frequency
+    ``base ** (-2 i / head_dim)``.
+    """
+    if head_dim % 2 != 0:
+        raise ValueError("RoPE requires an even head dimension")
+    half = head_dim // 2
+    freqs = base ** (-np.arange(half, dtype=dtype) * 2.0 / head_dim)
+    angles = np.arange(seq_len, dtype=dtype)[:, None] * freqs[None, :]
+    return np.cos(angles), np.sin(angles)
+
+
+def _rotate(x: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
+    """Rotate channel pairs of ``x``: shape (..., S, head_dim)."""
+    x_even = x[..., 0::2]
+    x_odd = x[..., 1::2]
+    out = np.empty_like(x)
+    out[..., 0::2] = x_even * cos - x_odd * sin
+    out[..., 1::2] = x_even * sin + x_odd * cos
+    return out
+
+
+def rope_apply(
+    x: np.ndarray, cos: np.ndarray, sin: np.ndarray
+) -> np.ndarray:
+    """Apply RoPE to ``x`` of shape ``(..., S, head_dim)``.
+
+    ``cos``/``sin`` have shape ``(S, head_dim//2)`` and broadcast over the
+    leading (batch, head) axes.
+    """
+    return _rotate(x, cos, sin)
+
+
+def rope_apply_bwd(
+    dy: np.ndarray, cos: np.ndarray, sin: np.ndarray
+) -> np.ndarray:
+    """Backward of :func:`rope_apply` — rotation by the negative angle."""
+    return _rotate(dy, cos, -sin)

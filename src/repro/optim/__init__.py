@@ -1,0 +1,29 @@
+"""Optimizers with explicit, shardable state (see DESIGN.md §3)."""
+
+from .clip import apply_scale, clip_scale, global_clip_scale, local_sumsq
+from .lr_schedule import (
+    constant,
+    cosine_with_warmup,
+    inverse_sqrt,
+    linear_warmup,
+    step_decay,
+)
+from .mixed import MasterWeightOptimizer
+from .optimizer import SGD, Adam, AdamW, Optimizer
+
+__all__ = [
+    "SGD",
+    "Adam",
+    "AdamW",
+    "MasterWeightOptimizer",
+    "Optimizer",
+    "apply_scale",
+    "clip_scale",
+    "constant",
+    "cosine_with_warmup",
+    "global_clip_scale",
+    "inverse_sqrt",
+    "linear_warmup",
+    "local_sumsq",
+    "step_decay",
+]

@@ -1,0 +1,76 @@
+"""Global-norm gradient clipping, distribution-aware.
+
+Clipping by the *global* L2 norm (the standard for LLM training) needs
+the norm over **all** parameters, but every strategy shards gradients
+differently: pipeline stages own layer ranges, FSDP owns flat chunks,
+WeiPipe owners hold their slots' ``D``, TP holds split matrices plus
+replicated copies.  The protocol is the same everywhere:
+
+1. each worker computes :func:`local_sumsq` over the gradient shards it
+   will feed to *its* optimizer step (counting replicated tensors only
+   on one rank, via the ``count`` predicate);
+2. a scalar ring all-reduce produces the global sum of squares;
+3. every worker applies the identical :func:`clip_scale`.
+
+Because the scale factor is a deterministic function of the global norm,
+clipped runs remain numerically equivalent across strategies — enforced
+by ``tests/integration/test_schedules_and_clipping.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from ..nn.params import ParamStruct
+from ..runtime import Communicator, all_reduce
+
+__all__ = ["local_sumsq", "clip_scale", "global_clip_scale", "apply_scale"]
+
+
+def local_sumsq(
+    grads: Iterable[ParamStruct],
+    count: Optional[Callable[[str], bool]] = None,
+) -> float:
+    """Sum of squared gradient entries over (a filter of) the shards."""
+    total = 0.0
+    for g in grads:
+        for name, arr in g.items():
+            if count is None or count(name):
+                total += float(np.dot(arr.reshape(-1), arr.reshape(-1)))
+    return total
+
+
+def clip_scale(global_sumsq: float, max_norm: float) -> float:
+    """The multiplier that caps the global norm at ``max_norm``."""
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    norm = float(np.sqrt(global_sumsq))
+    if norm <= max_norm or norm == 0.0:
+        return 1.0
+    return max_norm / norm
+
+
+def global_clip_scale(
+    comm: Optional[Communicator],
+    local: float,
+    max_norm: float,
+    tag: tuple = ("clip",),
+) -> float:
+    """All-reduce the local sums of squares and return the clip scale.
+
+    Pass ``comm=None`` on a single worker (serial)."""
+    if comm is not None and comm.world_size > 1:
+        total = float(all_reduce(comm, np.array([local]), tag=tag)[0])
+    else:
+        total = local
+    return clip_scale(total, max_norm)
+
+
+def apply_scale(grads: Iterable[ParamStruct], scale: float) -> None:
+    """In-place ``g *= scale`` (no-op fast path for scale == 1)."""
+    if scale == 1.0:
+        return
+    for g in grads:
+        g.scale_(scale)

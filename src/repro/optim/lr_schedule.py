@@ -1,0 +1,90 @@
+"""Learning-rate schedules as pure ``iteration -> multiplier`` functions.
+
+A schedule maps the 0-based iteration index to a multiplier on the
+optimizer's base learning rate.  Strategies apply it via
+``Optimizer.set_lr_scale`` right before the update pass, so scheduled
+runs stay numerically identical across serial and every distributed
+strategy (the multiplier is a pure function of the iteration count,
+which all workers agree on).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+__all__ = [
+    "constant",
+    "linear_warmup",
+    "cosine_with_warmup",
+    "inverse_sqrt",
+    "step_decay",
+]
+
+Schedule = Callable[[int], float]
+
+
+def constant() -> Schedule:
+    """Always 1.0 — the implicit default."""
+    return lambda it: 1.0
+
+
+def linear_warmup(warmup_iters: int, after: float = 1.0) -> Schedule:
+    """Ramp 0 -> ``after`` linearly over ``warmup_iters``, then hold.
+
+    Iteration 0 already takes one warmup step (multiplier
+    ``1/warmup_iters``), so no update is ever fully zeroed out.
+    """
+    if warmup_iters < 1:
+        raise ValueError("warmup_iters must be >= 1")
+
+    def fn(it: int) -> float:
+        if it >= warmup_iters:
+            return after
+        return after * (it + 1) / warmup_iters
+
+    return fn
+
+
+def cosine_with_warmup(
+    warmup_iters: int, total_iters: int, min_mult: float = 0.1
+) -> Schedule:
+    """Linear warmup then cosine decay to ``min_mult`` — the standard
+    LLM pre-training schedule (and Llama's)."""
+    if total_iters <= warmup_iters:
+        raise ValueError("total_iters must exceed warmup_iters")
+    warm = linear_warmup(warmup_iters)
+
+    def fn(it: int) -> float:
+        if it < warmup_iters:
+            return warm(it)
+        progress = (it - warmup_iters) / (total_iters - warmup_iters)
+        progress = min(1.0, progress)
+        return min_mult + 0.5 * (1.0 - min_mult) * (1.0 + math.cos(math.pi * progress))
+
+    return fn
+
+
+def inverse_sqrt(warmup_iters: int) -> Schedule:
+    """Noam/T5-style: warmup then ``sqrt(warmup / it)`` decay."""
+    if warmup_iters < 1:
+        raise ValueError("warmup_iters must be >= 1")
+    warm = linear_warmup(warmup_iters)
+
+    def fn(it: int) -> float:
+        if it < warmup_iters:
+            return warm(it)
+        return math.sqrt(warmup_iters / (it + 1))
+
+    return fn
+
+
+def step_decay(step_every: int, factor: float = 0.1) -> Schedule:
+    """Multiply by ``factor`` every ``step_every`` iterations."""
+    if step_every < 1:
+        raise ValueError("step_every must be >= 1")
+
+    def fn(it: int) -> float:
+        return factor ** (it // step_every)
+
+    return fn

@@ -1,0 +1,46 @@
+"""fp32 master weights around any optimizer (mixed-precision training).
+
+The paper keeps optimizer states in fp32 while weights travel the ring
+in fp16.  :class:`MasterWeightOptimizer` reproduces that split: the
+authoritative fp32 copy lives in the optimizer state of whichever worker
+*owns* the layer; after every update the model weights are re-quantised
+to the storage format before re-entering circulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..nn.params import ParamStruct
+from ..nn.precision import PrecisionPolicy
+from .optimizer import Optimizer
+
+__all__ = ["MasterWeightOptimizer"]
+
+
+class MasterWeightOptimizer(Optimizer):
+    """Wraps an optimizer with an fp32 master copy of the parameters.
+
+    ``step`` applies the inner update to the master copy (so repeated
+    tiny updates are not lost to fp16 rounding) and then overwrites the
+    working params with the freshly quantised master values.
+    """
+
+    def __init__(self, inner: Optimizer, policy: PrecisionPolicy):
+        self.inner = inner
+        self.policy = policy
+
+    def set_lr_scale(self, scale: float) -> None:
+        self.inner.set_lr_scale(scale)
+
+    def init_state(self, params: ParamStruct) -> Dict:
+        master = params.map(lambda a: a.astype("float64" if self.policy.master == "fp64" else "float32"))
+        return {"master": master, "inner": self.inner.init_state(master)}
+
+    def step(self, params: ParamStruct, grads: ParamStruct, state: Dict) -> None:
+        master: ParamStruct = state["master"]
+        self.inner.step(master, grads, state["inner"])
+        for name in params.keys():
+            params[name][...] = self.policy.q_weight(master[name]).astype(
+                params[name].dtype, copy=False
+            )

@@ -1,0 +1,126 @@
+"""Optimizers over :class:`~repro.nn.params.ParamStruct` with explicit state.
+
+State is a plain dict created by ``init_state`` and threaded through
+``step`` by the caller — never hidden inside the optimizer object.  This
+matters for the reproduction: WeiPipe shards optimizer state by *layer
+owner* (each worker keeps the fp32 state only for the layer it updates,
+Section 3 "Update pass"), FSDP shards it by *flat chunk*, and pipeline
+baselines keep it per *stage*.  All three just pass different subsets of
+(params, grads, state) triples to the same optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..nn.params import ParamStruct
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW"]
+
+
+class Optimizer:
+    """Interface: stateless object + explicit per-params state dict."""
+
+    #: base learning rate; concrete optimizers set this in __init__.
+    lr: float = 0.0
+    _base_lr: float = 0.0
+
+    def init_state(self, params: ParamStruct) -> Dict:
+        raise NotImplementedError
+
+    def step(self, params: ParamStruct, grads: ParamStruct, state: Dict) -> None:
+        """Update ``params`` in place from ``grads``."""
+        raise NotImplementedError
+
+    def set_lr_scale(self, scale: float) -> None:
+        """Apply a schedule multiplier to the base learning rate.
+
+        Idempotent per call: always scales the *base* lr captured at
+        construction, never the previously scaled value.
+        """
+        self.lr = self._base_lr * scale
+
+
+class SGD(Optimizer):
+    """SGD with optional (classical) momentum and L2 weight decay."""
+
+    def __init__(self, lr: float, momentum: float = 0.0, weight_decay: float = 0.0):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = self._base_lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+
+    def init_state(self, params: ParamStruct) -> Dict:
+        if self.momentum == 0.0:
+            return {}
+        return {"velocity": params.zeros_like()}
+
+    def step(self, params: ParamStruct, grads: ParamStruct, state: Dict) -> None:
+        for name in params.keys():
+            g = grads[name]
+            if self.weight_decay:
+                g = g + self.weight_decay * params[name]
+            if self.momentum:
+                v = state["velocity"][name]
+                v *= self.momentum
+                v += g
+                g = v
+            params[name] -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        lr: float,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = self._base_lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+
+    def init_state(self, params: ParamStruct) -> Dict:
+        return {
+            "m": params.zeros_like(),
+            "v": params.zeros_like(),
+            "t": 0,
+        }
+
+    def _decay_into_grad(self) -> bool:
+        return True  # Adam: L2 goes through the moments
+
+    def step(self, params: ParamStruct, grads: ParamStruct, state: Dict) -> None:
+        state["t"] += 1
+        t = state["t"]
+        bc1 = 1.0 - self.beta1**t
+        bc2 = 1.0 - self.beta2**t
+        for name in params.keys():
+            g = grads[name]
+            if self.weight_decay and self._decay_into_grad():
+                g = g + self.weight_decay * params[name]
+            m = state["m"][name]
+            v = state["v"][name]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * np.square(g)
+            update = (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+            if self.weight_decay and not self._decay_into_grad():
+                update = update + self.weight_decay * params[name]
+            params[name] -= self.lr * update
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter)."""
+
+    def _decay_into_grad(self) -> bool:
+        return False

@@ -1,0 +1,24 @@
+"""Baseline training strategies on the functional runtime."""
+
+from .common import TrainResult, TrainSpec, microbatch
+from .data_parallel import train_data_parallel
+from .fsdp import train_fsdp
+from .pipeline import stage_chunk_range, train_pipeline
+from .pipeline_zb import train_pipeline_zb
+from .sequence_parallel import train_sequence_parallel
+from .serial import train_serial
+from .tensor_parallel import train_tensor_parallel
+
+__all__ = [
+    "TrainResult",
+    "TrainSpec",
+    "microbatch",
+    "stage_chunk_range",
+    "train_data_parallel",
+    "train_fsdp",
+    "train_pipeline",
+    "train_pipeline_zb",
+    "train_sequence_parallel",
+    "train_serial",
+    "train_tensor_parallel",
+]

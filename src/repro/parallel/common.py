@@ -1,0 +1,159 @@
+"""Shared scaffolding for all training strategies.
+
+A :class:`TrainSpec` pins down everything that defines a training run —
+model, data, optimizer, precision, recomputation, microbatching — so
+that every strategy (serial, DP, FSDP, GPipe, 1F1B, ZB, WeiPipe) trains
+*the same problem* and can be compared for numerical equivalence.
+
+Data is synthetic next-token prediction over random token streams
+(:func:`microbatch`): a pure function of ``(data_seed, iteration,
+microbatch index)``, so any worker can materialise any microbatch
+without a shared data loader — exactly how the equivalence tests keep
+strategies honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn.model import ModelConfig, init_model, rope_tables
+from ..nn.params import ParamStruct
+from ..nn.precision import FP32, PrecisionPolicy
+from ..optim.optimizer import SGD, Optimizer
+
+__all__ = ["TrainSpec", "TrainResult", "microbatch", "quantize_grads"]
+
+
+@dataclass
+class TrainSpec:
+    """Complete description of one training problem.
+
+    ``n_microbatches`` is the paper's ``N`` (per iteration) and
+    ``microbatch_size`` its ``G``.  ``recompute`` toggles gradient
+    checkpointing (the paper enables it for 1F1B/FSDP/WeiPipe, disables
+    it for the ZB baselines).
+    """
+
+    cfg: ModelConfig
+    n_microbatches: int = 4
+    microbatch_size: int = 2
+    iters: int = 1
+    seed: int = 0
+    data_seed: int = 1234
+    recompute: bool = False
+    precision: PrecisionPolicy = field(default_factory=lambda: FP32)
+    make_optimizer: Callable[[], Optimizer] = field(
+        default_factory=lambda: (lambda: SGD(lr=0.1))
+    )
+    #: optional LR schedule: iteration -> multiplier on the base lr.
+    lr_schedule: Optional[Callable[[int], float]] = None
+    #: optional global-L2-norm gradient clipping threshold.
+    clip_norm: Optional[float] = None
+    #: optional data source with a deterministic
+    #: ``microbatch(iteration, index, g, s)`` method (see repro.data);
+    #: None means i.i.d. uniform tokens.
+    data: Optional[object] = None
+    #: optional starting weights (e.g. from repro.io.load_checkpoint);
+    #: None means fresh deterministic init from ``seed``.
+    initial_chunks: Optional[List[ParamStruct]] = None
+
+    def __post_init__(self):
+        if self.n_microbatches < 1:
+            raise ValueError("need at least one microbatch")
+        if self.iters < 1:
+            raise ValueError("need at least one iteration")
+
+    def init_chunks(self) -> List[ParamStruct]:
+        """Starting weight chunks, quantised to the storage precision so
+        all strategies start identically: either a deterministic fresh
+        init from ``seed`` or the ``initial_chunks`` override (resume)."""
+        if self.initial_chunks is not None:
+            if len(self.initial_chunks) != self.cfg.n_layers:
+                raise ValueError("initial_chunks do not match the model config")
+            chunks = [c.clone() for c in self.initial_chunks]
+        else:
+            chunks = init_model(self.cfg, self.seed)
+        q = self.precision.q_weight
+        return [c.map(lambda a: q(a).astype(a.dtype, copy=False)) for c in chunks]
+
+    def rope(self) -> Tuple[np.ndarray, np.ndarray]:
+        return rope_tables(self.cfg)
+
+
+def microbatch(
+    spec: TrainSpec, iteration: int, index: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Deterministic microbatch ``index`` of ``iteration``.
+
+    Delegates to ``spec.data`` when set (see :mod:`repro.data`); the
+    default is uniform random tokens with next-token targets.  The seed
+    mixes iteration and index so microbatches never repeat but any rank
+    can regenerate any of them — the property every distributed strategy
+    relies on instead of a shared data loader.
+    """
+    g, s, v = spec.microbatch_size, spec.cfg.seq_len, spec.cfg.vocab
+    if spec.data is not None:
+        tokens, targets = spec.data.microbatch(iteration, index, g, s)
+        if tokens.shape != (g, s) or targets.shape != (g, s):
+            raise ValueError(
+                f"data source returned shape {tokens.shape}, expected {(g, s)}"
+            )
+        if tokens.max() >= v or targets.max() >= v:
+            raise ValueError("data source produced token ids >= vocab")
+        return tokens, targets
+    rng = np.random.default_rng((spec.data_seed, iteration, index))
+    stream = rng.integers(0, v, size=(g, s + 1))
+    return stream[:, :-1], stream[:, 1:]
+
+
+def quantize_grads(grads: ParamStruct, policy: PrecisionPolicy) -> ParamStruct:
+    """Quantise weight gradients to their wire format (paper: fp16 ``D``)."""
+    q = policy.q_weight_grad
+    return grads.map(lambda a: q(a).astype(a.dtype, copy=False))
+
+
+def pre_update(
+    spec: "TrainSpec",
+    iteration: int,
+    opt: Optimizer,
+    grads: list,
+    comm=None,
+    count=None,
+    tag: tuple = ("clip",),
+) -> None:
+    """Common pre-optimizer hook: LR schedule + global-norm clipping.
+
+    ``grads`` is this worker's list of gradient :class:`ParamStruct`
+    shards (mutated in place when clipping fires); ``comm`` is the
+    communicator for the scalar norm all-reduce (``None`` when the
+    worker already holds complete gradients, e.g. serial or post-
+    all-reduce DP); ``count`` filters parameter names whose squares this
+    worker contributes (used by TP to count replicated tensors once).
+    Every strategy calls this at the same point — right before its
+    optimizer steps — so scheduled/clipped runs stay equivalent.
+    """
+    if spec.lr_schedule is not None:
+        opt.set_lr_scale(spec.lr_schedule(iteration))
+    if spec.clip_norm is not None:
+        from ..optim.clip import apply_scale, global_clip_scale, local_sumsq
+
+        scale = global_clip_scale(
+            comm, local_sumsq(grads, count), spec.clip_norm, tag=tag
+        )
+        apply_scale(grads, scale)
+
+
+@dataclass
+class TrainResult:
+    """What every strategy returns: per-iteration mean losses and the
+    final weight chunks (fp32-master values where applicable)."""
+
+    losses: List[float]
+    chunks: List[ParamStruct]
+    extra: Dict = field(default_factory=dict)
+
+    def final_loss(self) -> float:
+        return self.losses[-1]

@@ -1,0 +1,140 @@
+"""Fully Sharded Data Parallelism (ZeRO-3), the paper's FSDP baseline.
+
+Every worker owns a ``1/P`` flat shard of each layer chunk (weights and
+optimizer state).  For each microbatch, each layer's full weights are
+materialised with a ring **all-gather** just before use — once in the
+forward pass and again in the backward pass — and gradients leave via a
+ring **reduce-scatter**, after which the full weights are freed.  Per
+iteration each worker therefore moves ``3 (P-1)/P`` of the model per
+microbatch group, the collective-communication load the paper contrasts
+with WeiPipe's weight ring.
+
+Data is split like DP: worker ``r`` runs microbatches ``{r, r+P, ...}``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn.checkpoint import CheckpointedChunk
+from ..nn import functional as F
+from ..nn.params import ParamStruct
+from ..runtime import (
+    Communicator,
+    Fabric,
+    all_gather,
+    all_reduce,
+    reduce_scatter,
+    run_workers,
+    split_chunks,
+)
+from .common import TrainResult, TrainSpec, microbatch, pre_update, quantize_grads
+
+__all__ = ["train_fsdp"]
+
+
+def _gather_chunk(
+    comm: Communicator,
+    shard: np.ndarray,
+    template: ParamStruct,
+    tag: tuple,
+    wire_bytes: int,
+) -> ParamStruct:
+    """All-gather a chunk's shards and unpack to named weights."""
+    shards = all_gather(
+        comm, shard, tag=tag, nbytes=int(shard.size * wire_bytes)
+    )
+    return template.unpack_from(np.concatenate(shards))
+
+
+def _worker(comm: Communicator, spec: TrainSpec) -> TrainResult:
+    cfg = spec.cfg
+    rank, p = comm.rank, comm.world_size
+    cos, sin = spec.rope()
+    ck = CheckpointedChunk(cfg, recompute=spec.recompute)
+    q_act = spec.precision.q_act
+    q_bgrad = spec.precision.q_act_grad
+    w_wire = spec.precision.weight_bytes
+    d_wire = spec.precision.weight_grad_bytes
+    scale = 1.0 / spec.n_microbatches
+
+    # shard the deterministically initialised model; drop the full copy.
+    full = spec.init_chunks()
+    templates = [c.zeros_like() for c in full]
+    shards: List[np.ndarray] = [
+        split_chunks(c.pack(dtype=np.float64), p)[rank].copy() for c in full
+    ]
+    del full
+
+    opt = spec.make_optimizer()
+    states = [opt.init_state(ParamStruct({"flat": s})) for s in shards]
+
+    losses: List[float] = []
+    for it in range(spec.iters):
+        grad_shards = [np.zeros_like(s) for s in shards]
+        local_loss = 0.0
+        for k, mb in enumerate(range(rank, spec.n_microbatches, p)):
+            # collective tags use the local ordinal k (identical on every
+            # rank), not the global microbatch id (which differs per rank).
+            tokens, targets = microbatch(spec, it, mb)
+            x = tokens
+            fwd_states = []
+            for i in range(cfg.n_layers):
+                w = _gather_chunk(
+                    comm, shards[i], templates[i], ("fsdp-agf", it, k, i), w_wire
+                )
+                x, st = ck.fwd(i, w, x, cos, sin)
+                x = q_act(x)
+                fwd_states.append(st)
+                del w  # freed immediately, as FSDP does
+
+            loss, c_loss = F.cross_entropy_fwd(x, targets)
+            local_loss += loss
+            dy = F.cross_entropy_bwd(1.0, c_loss)
+
+            for i in range(cfg.n_layers - 1, -1, -1):
+                w = _gather_chunk(
+                    comm, shards[i], templates[i], ("fsdp-agb", it, k, i), w_wire
+                )
+                dy, g = ck.bwd(i, w, dy, fwd_states[i])
+                del w
+                if dy is not None:
+                    dy = q_bgrad(dy)
+                flat_g = quantize_grads(g, spec.precision).pack(dtype=np.float64)
+                mine = reduce_scatter(
+                    comm,
+                    flat_g,
+                    tag=("fsdp-rs", it, k, i),
+                    nbytes_per_element=d_wire,
+                )
+                grad_shards[i] += scale * mine
+
+        loss_sum = all_reduce(comm, np.array([local_loss]), tag=("fsdp-loss", it))[0]
+        grad_structs = [ParamStruct({"flat": g}) for g in grad_shards]
+        pre_update(spec, it, opt, grad_structs, comm=comm, tag=("fsdp-clip", it))
+        for i, s in enumerate(shards):
+            ps = ParamStruct({"flat": s})
+            opt.step(ps, grad_structs[i], states[i])
+            shards[i] = ps["flat"]
+        losses.append(loss_sum / spec.n_microbatches)
+
+    # reassemble full weights once, for result comparison.
+    final = [
+        _gather_chunk(comm, shards[i], templates[i], ("fsdp-final", i), w_wire)
+        for i in range(cfg.n_layers)
+    ]
+    return TrainResult(losses=losses, chunks=final)
+
+
+def train_fsdp(
+    spec: TrainSpec, world_size: int, fabric: Optional[Fabric] = None
+) -> TrainResult:
+    """Run ZeRO-3 FSDP on ``world_size`` simulated workers."""
+    if spec.n_microbatches % world_size != 0:
+        raise ValueError("n_microbatches must be divisible by world_size")
+    results = run_workers(
+        world_size, lambda comm: _worker(comm, spec), fabric=fabric
+    )
+    return results[0]

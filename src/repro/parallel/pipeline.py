@@ -1,0 +1,193 @@
+"""Activation-passing pipeline parallelism: GPipe and 1F1B.
+
+The classical pipelines the paper compares against.  The model's layer
+chunks are split into ``P`` contiguous *stages*; microbatch activations
+travel ``stage s -> s+1`` in the forward pass and their gradients travel
+back, so the per-hop message size is ``G * S * H`` elements — the volume
+that explodes with context length and motivates WeiPipe.
+
+Both schedules compute identical numbers; they differ in *when* each
+stage runs which pass, i.e. in bubbles and activation-liveness:
+
+* **GPipe**: all ``N`` forwards, then all ``N`` backwards (peak ``N``
+  in-flight activation sets per stage).
+* **1F1B** (Dapple/Megatron): ``P - 1 - rank`` warmup forwards, then a
+  steady one-forward-one-backward rhythm (peak ``P - rank`` in-flight).
+
+The worker records its peak number of in-flight microbatch states in
+``TrainResult.extra["peak_inflight"]`` so tests can verify the memory
+claim that distinguishes the schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..nn.checkpoint import CheckpointedChunk
+from ..nn import functional as F
+from ..nn.params import ParamStruct
+from ..runtime import Communicator, Fabric, all_gather, run_workers
+from .common import TrainResult, TrainSpec, microbatch, pre_update, quantize_grads
+
+__all__ = ["train_pipeline", "stage_chunk_range"]
+
+
+def stage_chunk_range(n_layers: int, world_size: int, rank: int) -> range:
+    """Chunk indices owned by pipeline stage ``rank`` (contiguous split)."""
+    if n_layers % world_size != 0:
+        raise ValueError("n_layers must be divisible by the number of stages")
+    per = n_layers // world_size
+    return range(rank * per, (rank + 1) * per)
+
+
+class _StageWorker:
+    """One pipeline stage: forward/backward plumbing shared by schedules."""
+
+    def __init__(self, comm: Communicator, spec: TrainSpec):
+        self.comm = comm
+        self.spec = spec
+        self.cfg = spec.cfg
+        self.rank = comm.rank
+        self.world = comm.world_size
+        self.is_first = self.rank == 0
+        self.is_last = self.rank == self.world - 1
+        self.chunk_ids = list(
+            stage_chunk_range(self.cfg.n_layers, self.world, self.rank)
+        )
+        all_chunks = spec.init_chunks()
+        self.chunks = {i: all_chunks[i] for i in self.chunk_ids}
+        self.cos, self.sin = spec.rope()
+        self.ck = CheckpointedChunk(self.cfg, recompute=spec.recompute)
+        self.opt = spec.make_optimizer()
+        self.opt_states = {i: self.opt.init_state(self.chunks[i]) for i in self.chunk_ids}
+        self.q_act = spec.precision.q_act
+        self.q_bgrad = spec.precision.q_act_grad
+        self.act_wire = spec.precision.act_bytes
+        self.bgrad_wire = spec.precision.act_grad_bytes
+        self.scale = 1.0 / spec.n_microbatches
+        # per-microbatch in-flight state: mb -> list of per-chunk fwd states
+        self.inflight: Dict[int, list] = {}
+        self.loss_caches: Dict[int, tuple] = {}
+        self.targets: Dict[int, np.ndarray] = {}
+        self.peak_inflight = 0
+        self.local_losses: Dict[int, float] = {}
+
+    # -- one microbatch's passes ---------------------------------------------
+
+    def forward(self, it: int, mb: int) -> None:
+        if self.is_first:
+            tokens, targets = microbatch(self.spec, it, mb)
+            x = tokens
+        else:
+            x = self.comm.recv(self.rank - 1, ("act", it, mb))
+            _, targets = microbatch(self.spec, it, mb)
+        states = []
+        for i in self.chunk_ids:
+            x, st = self.ck.fwd(i, self.chunks[i], x, self.cos, self.sin)
+            x = self.q_act(x)
+            states.append(st)
+        self.inflight[mb] = states
+        self.peak_inflight = max(self.peak_inflight, len(self.inflight))
+        if self.is_last:
+            loss, c_loss = F.cross_entropy_fwd(x, targets)
+            self.local_losses[mb] = loss
+            self.loss_caches[mb] = c_loss
+        else:
+            self.comm.send(
+                x,
+                self.rank + 1,
+                ("act", it, mb),
+                nbytes=int(x.size * self.act_wire),
+            )
+
+    def backward(self, it: int, mb: int, accum: Dict[int, ParamStruct]) -> None:
+        if self.is_last:
+            dy = F.cross_entropy_bwd(1.0, self.loss_caches.pop(mb))
+        else:
+            dy = self.comm.recv(self.rank + 1, ("bgrad", it, mb))
+        states = self.inflight.pop(mb)
+        for pos in range(len(self.chunk_ids) - 1, -1, -1):
+            i = self.chunk_ids[pos]
+            dy, g = self.ck.bwd(i, self.chunks[i], dy, states[pos])
+            if dy is not None:
+                dy = self.q_bgrad(dy)
+            accum[i].add_(quantize_grads(g, self.spec.precision), scale=self.scale)
+        if not self.is_first:
+            self.comm.send(
+                dy,
+                self.rank - 1,
+                ("bgrad", it, mb),
+                nbytes=int(dy.size * self.bgrad_wire),
+            )
+
+    # -- iteration ------------------------------------------------------------
+
+    def run_iteration(self, it: int, schedule: str) -> float:
+        n = self.spec.n_microbatches
+        accum = {i: self.chunks[i].zeros_like() for i in self.chunk_ids}
+
+        if schedule == "gpipe":
+            for mb in range(n):
+                self.forward(it, mb)
+            for mb in range(n):
+                self.backward(it, mb, accum)
+        elif schedule == "1f1b":
+            warmup = min(n, self.world - 1 - self.rank)
+            for mb in range(warmup):
+                self.forward(it, mb)
+            for i in range(n - warmup):
+                self.forward(it, warmup + i)
+                self.backward(it, i, accum)
+            for mb in range(n - warmup, n):
+                self.backward(it, mb, accum)
+        else:
+            raise ValueError(f"unknown schedule {schedule!r}")
+
+        pre_update(
+            self.spec, it, self.opt, [accum[i] for i in self.chunk_ids],
+            comm=self.comm, tag=("pp-clip", it),
+        )
+        for i in self.chunk_ids:
+            self.opt.step(self.chunks[i], accum[i], self.opt_states[i])
+
+        # mean loss lives on the last stage; share it for reporting.
+        losses = all_gather(
+            self.comm, sum(self.local_losses.values()), tag=("pp-loss", it)
+        )
+        self.local_losses.clear()
+        return sum(losses) / n
+
+
+def _worker(comm: Communicator, spec: TrainSpec, schedule: str) -> TrainResult:
+    w = _StageWorker(comm, spec)
+    losses = [w.run_iteration(it, schedule) for it in range(spec.iters)]
+    return TrainResult(
+        losses=losses,
+        chunks=[w.chunks[i] for i in w.chunk_ids],
+        extra={"peak_inflight": w.peak_inflight, "rank": w.rank},
+    )
+
+
+def train_pipeline(
+    spec: TrainSpec,
+    world_size: int,
+    schedule: str = "1f1b",
+    fabric: Optional[Fabric] = None,
+) -> TrainResult:
+    """Run an activation-passing pipeline (``schedule`` in {"gpipe","1f1b"}).
+
+    Returns losses plus the *full* model (stage chunk lists concatenated
+    in order).  ``extra["peak_inflight"]`` maps rank -> peak in-flight
+    microbatch count.
+    """
+    stage_chunk_range(spec.cfg.n_layers, world_size, 0)  # validate divisibility
+    results = run_workers(
+        world_size, lambda comm: _worker(comm, spec, schedule), fabric=fabric
+    )
+    chunks: List[ParamStruct] = []
+    for r in results:
+        chunks.extend(r.chunks)
+    peaks = {r.extra["rank"]: r.extra["peak_inflight"] for r in results}
+    return TrainResult(losses=results[0].losses, chunks=chunks, extra={"peak_inflight": peaks})

@@ -1,0 +1,219 @@
+"""Zero-bubble pipeline parallelism (ZB1 / ZB2 baselines).
+
+Zero-bubble schedules (Qi et al.) split each backward into:
+
+* **B pass** — gradient w.r.t. activations (unblocks the upstream stage
+  immediately), and
+* **W pass** — gradient w.r.t. weights (pure local GEMMs, freely
+  deferrable),
+
+and fill pipeline bubbles with deferred W passes.  Functionally the
+result is identical to 1F1B; what changes is *liveness*: between a
+microbatch's B pass and its W pass the stage must hold both the forward
+cache and the B-pass upstream gradients.  The paper's Table 2 finding —
+ZB1/ZB2 go OOM where 1F1B does not, once Flash Attention makes FFN
+activations dominant — is driven exactly by that window, so this worker
+tracks ``peak_pending_w`` (max deferred W passes alive at once).
+
+Variants:
+
+* ``zb1`` — warmup ``P - rank`` forwards, steady F/B/W rhythm; W passes
+  run eagerly after the next B, bounding pending W at ~1 extra.
+* ``zb2`` — warmup ``2(P - rank) - 1`` forwards and W passes deferred a
+  full extra round, buying a smaller bubble (in time; see ``repro.sim``)
+  at roughly double the liveness.
+
+Recomputation is intentionally rejected here, mirroring the paper: with
+decoupled B/W the forward cache must survive until the W pass anyway,
+so checkpointing saves nothing and only adds compute.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn.checkpoint import CheckpointedChunk
+from ..nn import functional as F
+from ..nn.params import ParamStruct
+from ..runtime import Communicator, Fabric, all_gather, run_workers
+from .common import TrainResult, TrainSpec, microbatch, pre_update, quantize_grads
+from .pipeline import stage_chunk_range
+
+__all__ = ["train_pipeline_zb"]
+
+
+class _ZBStage:
+    def __init__(self, comm: Communicator, spec: TrainSpec):
+        if spec.recompute:
+            raise ValueError(
+                "zero-bubble schedules do not support recomputation "
+                "(the forward cache must live until the W pass; see paper §5)"
+            )
+        self.comm = comm
+        self.spec = spec
+        self.cfg = spec.cfg
+        self.rank = comm.rank
+        self.world = comm.world_size
+        self.is_first = self.rank == 0
+        self.is_last = self.rank == self.world - 1
+        self.chunk_ids = list(
+            stage_chunk_range(self.cfg.n_layers, self.world, self.rank)
+        )
+        all_chunks = spec.init_chunks()
+        self.chunks = {i: all_chunks[i] for i in self.chunk_ids}
+        self.cos, self.sin = spec.rope()
+        self.ck = CheckpointedChunk(self.cfg, recompute=False)
+        self.opt = spec.make_optimizer()
+        self.opt_states = {
+            i: self.opt.init_state(self.chunks[i]) for i in self.chunk_ids
+        }
+        self.q_act = spec.precision.q_act
+        self.q_bgrad = spec.precision.q_act_grad
+        self.act_wire = spec.precision.act_bytes
+        self.bgrad_wire = spec.precision.act_grad_bytes
+        self.scale = 1.0 / spec.n_microbatches
+
+        self.inflight: Dict[int, list] = {}
+        self.loss_caches: Dict[int, tuple] = {}
+        self.local_losses: Dict[int, float] = {}
+        # deferred W work: (mb, [(chunk id, cache, wcache), ...])
+        self.pending_w: Deque[Tuple[int, list]] = deque()
+        self.peak_pending_w = 0
+        self.peak_inflight = 0
+
+    def forward(self, it: int, mb: int) -> None:
+        if self.is_first:
+            tokens, targets = microbatch(self.spec, it, mb)
+            x = tokens
+        else:
+            x = self.comm.recv(self.rank - 1, ("act", it, mb))
+            _, targets = microbatch(self.spec, it, mb)
+        states = []
+        for i in self.chunk_ids:
+            x, st = self.ck.fwd(i, self.chunks[i], x, self.cos, self.sin)
+            x = self.q_act(x)
+            states.append(st)
+        self.inflight[mb] = states
+        self.peak_inflight = max(self.peak_inflight, len(self.inflight))
+        if self.is_last:
+            loss, c_loss = F.cross_entropy_fwd(x, targets)
+            self.local_losses[mb] = loss
+            self.loss_caches[mb] = c_loss
+        else:
+            self.comm.send(
+                x, self.rank + 1, ("act", it, mb),
+                nbytes=int(x.size * self.act_wire),
+            )
+
+    def b_pass(self, it: int, mb: int) -> None:
+        """Activation-gradient half: unblocks the upstream stage, defers W."""
+        if self.is_last:
+            dy = F.cross_entropy_bwd(1.0, self.loss_caches.pop(mb))
+        else:
+            dy = self.comm.recv(self.rank + 1, ("bgrad", it, mb))
+        states = self.inflight.pop(mb)
+        deferred = []
+        for pos in range(len(self.chunk_ids) - 1, -1, -1):
+            i = self.chunk_ids[pos]
+            dy, cache, wcache = self.ck.bwd_input(i, self.chunks[i], dy, states[pos])
+            if dy is not None:
+                dy = self.q_bgrad(dy)
+            deferred.append((i, cache, wcache))
+        if not self.is_first:
+            self.comm.send(
+                dy, self.rank - 1, ("bgrad", it, mb),
+                nbytes=int(dy.size * self.bgrad_wire),
+            )
+        self.pending_w.append((mb, deferred))
+        self.peak_pending_w = max(self.peak_pending_w, len(self.pending_w))
+
+    def w_pass(self, accum: Dict[int, ParamStruct]) -> None:
+        """Weight-gradient half for the oldest deferred microbatch."""
+        _mb, deferred = self.pending_w.popleft()
+        for i, cache, wcache in deferred:
+            g = self.ck.bwd_weight(i, cache, wcache)
+            accum[i].add_(quantize_grads(g, self.spec.precision), scale=self.scale)
+
+    def run_iteration(self, it: int, variant: str) -> float:
+        n = self.spec.n_microbatches
+        accum = {i: self.chunks[i].zeros_like() for i in self.chunk_ids}
+
+        if variant == "zb1":
+            warmup = min(n, self.world - self.rank)
+            w_lag = 1
+        elif variant == "zb2":
+            warmup = min(n, 2 * (self.world - self.rank) - 1)
+            w_lag = 2 * (self.world - self.rank) - 1
+        else:
+            raise ValueError(f"unknown zero-bubble variant {variant!r}")
+
+        for mb in range(warmup):
+            self.forward(it, mb)
+        b = 0
+        for i in range(n - warmup):
+            self.forward(it, warmup + i)
+            self.b_pass(it, b)
+            b += 1
+            if len(self.pending_w) > w_lag:
+                self.w_pass(accum)
+        while b < n:
+            self.b_pass(it, b)
+            b += 1
+            if len(self.pending_w) > w_lag:
+                self.w_pass(accum)
+        while self.pending_w:
+            self.w_pass(accum)
+
+        pre_update(
+            self.spec, it, self.opt, [accum[i] for i in self.chunk_ids],
+            comm=self.comm, tag=("zb-clip", it),
+        )
+        for i in self.chunk_ids:
+            self.opt.step(self.chunks[i], accum[i], self.opt_states[i])
+
+        losses = all_gather(
+            self.comm, sum(self.local_losses.values()), tag=("zb-loss", it)
+        )
+        self.local_losses.clear()
+        return sum(losses) / n
+
+
+def _worker(comm: Communicator, spec: TrainSpec, variant: str) -> TrainResult:
+    w = _ZBStage(comm, spec)
+    losses = [w.run_iteration(it, variant) for it in range(spec.iters)]
+    return TrainResult(
+        losses=losses,
+        chunks=[w.chunks[i] for i in w.chunk_ids],
+        extra={
+            "rank": w.rank,
+            "peak_pending_w": w.peak_pending_w,
+            "peak_inflight": w.peak_inflight,
+        },
+    )
+
+
+def train_pipeline_zb(
+    spec: TrainSpec,
+    world_size: int,
+    variant: str = "zb1",
+    fabric: Optional[Fabric] = None,
+) -> TrainResult:
+    """Run a zero-bubble pipeline (``variant`` in {"zb1", "zb2"})."""
+    stage_chunk_range(spec.cfg.n_layers, world_size, 0)
+    results = run_workers(
+        world_size, lambda comm: _worker(comm, spec, variant), fabric=fabric
+    )
+    chunks: List[ParamStruct] = []
+    for r in results:
+        chunks.extend(r.chunks)
+    return TrainResult(
+        losses=results[0].losses,
+        chunks=chunks,
+        extra={
+            "peak_pending_w": {r.extra["rank"]: r.extra["peak_pending_w"] for r in results},
+            "peak_inflight": {r.extra["rank"]: r.extra["peak_inflight"] for r in results},
+        },
+    )

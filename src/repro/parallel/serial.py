@@ -1,0 +1,58 @@
+"""Single-worker baseline: the numerical ground truth.
+
+Every distributed strategy in this repository must reproduce this
+function's losses and final weights (exactly in fp32/fp64 policies, up
+to accumulation-order noise).  It is also the semantic spec: loss is the
+mean over the iteration's microbatches, gradients accumulate scaled by
+``1/N``, one optimizer step per iteration.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..nn.checkpoint import CheckpointedChunk
+from ..nn import functional as F
+from ..nn.params import ParamStruct
+from .common import TrainResult, TrainSpec, microbatch, pre_update, quantize_grads
+
+__all__ = ["train_serial"]
+
+
+def train_serial(spec: TrainSpec) -> TrainResult:
+    """Train on one worker; returns per-iteration losses and final chunks."""
+    cfg = spec.cfg
+    chunks = spec.init_chunks()
+    cos, sin = spec.rope()
+    ck = CheckpointedChunk(cfg, recompute=spec.recompute)
+    opt = spec.make_optimizer()
+    states = [opt.init_state(c) for c in chunks]
+    q_act = spec.precision.q_act
+    q_bgrad = spec.precision.q_act_grad
+    scale = 1.0 / spec.n_microbatches
+
+    losses: List[float] = []
+    for it in range(spec.iters):
+        accum: List[ParamStruct] = [c.zeros_like() for c in chunks]
+        total = 0.0
+        for mb in range(spec.n_microbatches):
+            tokens, targets = microbatch(spec, it, mb)
+            x = tokens
+            fwd_states = []
+            for i in range(cfg.n_layers):
+                x, st = ck.fwd(i, chunks[i], x, cos, sin)
+                x = q_act(x)
+                fwd_states.append(st)
+            loss, c_loss = F.cross_entropy_fwd(x, targets)
+            total += loss
+            dy = F.cross_entropy_bwd(1.0, c_loss)
+            for i in range(cfg.n_layers - 1, -1, -1):
+                dy, g = ck.bwd(i, chunks[i], dy, fwd_states[i])
+                if dy is not None:
+                    dy = q_bgrad(dy)
+                accum[i].add_(quantize_grads(g, spec.precision), scale=scale)
+        pre_update(spec, it, opt, accum)
+        for i, c in enumerate(chunks):
+            opt.step(c, accum[i], states[i])
+        losses.append(total / spec.n_microbatches)
+    return TrainResult(losses=losses, chunks=chunks)

@@ -1,0 +1,40 @@
+"""Simulated multi-worker message-passing runtime.
+
+Stands in for NCCL/torch.distributed on a machine without GPUs: the
+same P2P and ring-collective semantics, in-process, deterministic, with
+per-pair traffic accounting.  See DESIGN.md §2 for the substitution
+argument.
+"""
+
+from .collectives import (
+    all_gather,
+    all_reduce,
+    barrier,
+    broadcast,
+    reduce_scatter,
+    split_chunks,
+)
+from .communicator import Communicator, Fabric, FabricAborted, RecvTimeout
+from .launcher import WorkerError, run_workers
+from .message import Message, TrafficStats, payload_nbytes
+from .subgroup import SubCommunicator, split_grid
+
+__all__ = [
+    "Communicator",
+    "Fabric",
+    "FabricAborted",
+    "RecvTimeout",
+    "Message",
+    "TrafficStats",
+    "WorkerError",
+    "all_gather",
+    "all_reduce",
+    "barrier",
+    "broadcast",
+    "payload_nbytes",
+    "reduce_scatter",
+    "run_workers",
+    "SubCommunicator",
+    "split_grid",
+    "split_chunks",
+]

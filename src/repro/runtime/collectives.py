@@ -1,0 +1,155 @@
+"""Deterministic ring collectives built on P2P messages.
+
+The paper compares WeiPipe against FSDP under the observation that
+NCCL's default collectives are themselves *ring* algorithms (Section 5,
+"Hardware Environment": tree algorithms were not adopted).  We therefore
+implement the textbook ring versions — reduce-scatter then all-gather —
+so that (a) the functional byte counts match what NCCL would move,
+``2 (P-1)/P`` of the buffer per all-reduce, and (b) floating-point
+accumulation order is fixed, keeping runs reproducible.
+
+All collectives are bulk-synchronous per call and take a ``tag`` so
+different phases of a strategy never cross-match.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+import numpy as np
+
+from .communicator import Communicator
+
+__all__ = [
+    "barrier",
+    "broadcast",
+    "all_gather",
+    "all_reduce",
+    "reduce_scatter",
+    "split_chunks",
+]
+
+
+def split_chunks(flat: np.ndarray, parts: int) -> List[np.ndarray]:
+    """Split a flat array into ``parts`` nearly equal contiguous chunks.
+
+    The first ``flat.size % parts`` chunks get one extra element, the
+    standard NCCL-style partition; every rank computes identical bounds.
+    """
+    n = flat.size
+    base, extra = divmod(n, parts)
+    out = []
+    offset = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        out.append(flat[offset : offset + size])
+        offset += size
+    return out
+
+
+def barrier(comm: Communicator, tag: Tuple = ("barrier",)) -> None:
+    """Two full ring rotations of a token — a dissemination-free barrier."""
+    p = comm.world_size
+    if p == 1:
+        return
+    for phase in range(2):
+        comm.send(None, comm.right, tag + (phase,), nbytes=0)
+        comm.recv(comm.left, tag + (phase,))
+
+
+def broadcast(
+    comm: Communicator, value: Any, root: int = 0, tag: Tuple = ("bcast",),
+    nbytes: Optional[int] = None,
+) -> Any:
+    """Ring broadcast from ``root``; returns the value on every rank."""
+    p = comm.world_size
+    if p == 1:
+        return value
+    # forward around the ring; the last hop back to root is skipped.
+    if comm.rank != root:
+        value = comm.recv(comm.left, tag)
+    if comm.right != root:
+        comm.send(value, comm.right, tag, nbytes=nbytes)
+    return value
+
+
+def all_gather(
+    comm: Communicator,
+    value: Any,
+    tag: Tuple = ("allgather",),
+    nbytes: Optional[int] = None,
+) -> List[Any]:
+    """Ring all-gather: returns ``[value_of_rank_0, ..., value_of_rank_P-1]``.
+
+    Each rank forwards what it received, so every rank sends ``P-1``
+    messages of the per-rank value size — the ring all-gather volume.
+    """
+    p = comm.world_size
+    out: List[Any] = [None] * p
+    out[comm.rank] = value
+    current = value
+    current_rank = comm.rank
+    for step in range(p - 1):
+        comm.send(current, comm.right, tag + (step,), nbytes=nbytes)
+        current = comm.recv(comm.left, tag + (step,))
+        current_rank = (current_rank - 1) % p
+        out[current_rank] = current
+    return out
+
+
+def reduce_scatter(
+    comm: Communicator,
+    flat: np.ndarray,
+    tag: Tuple = ("reducescatter",),
+    nbytes_per_element: Optional[float] = None,
+) -> np.ndarray:
+    """Ring reduce-scatter of a flat array.
+
+    Rank ``r`` returns the fully reduced (summed) chunk ``r`` of the
+    partition produced by :func:`split_chunks`.  ``P-1`` steps, each
+    sending one chunk — ``(P-1)/P`` of the buffer per rank.
+    """
+    p = comm.world_size
+    chunks = [c.copy() for c in split_chunks(np.asarray(flat).reshape(-1), p)]
+    if p == 1:
+        return chunks[0]
+    # chunk c travels c+1 -> c+2 -> ... -> c, accumulating at each hop, so
+    # at step s rank r sends chunk (r - s - 1) and accumulates (r - s - 2);
+    # after P-1 steps rank r holds its own chunk fully reduced.
+    for step in range(p - 1):
+        send_idx = (comm.rank - step - 1) % p
+        recv_idx = (comm.rank - step - 2) % p
+        nb = (
+            int(chunks[send_idx].size * nbytes_per_element)
+            if nbytes_per_element is not None
+            else None
+        )
+        comm.send(chunks[send_idx], comm.right, tag + (step,), nbytes=nb)
+        incoming = comm.recv(comm.left, tag + (step,))
+        chunks[recv_idx] = chunks[recv_idx] + incoming
+    return chunks[comm.rank]
+
+
+def all_reduce(
+    comm: Communicator,
+    flat: np.ndarray,
+    tag: Tuple = ("allreduce",),
+    nbytes_per_element: Optional[float] = None,
+) -> np.ndarray:
+    """Ring all-reduce (sum): reduce-scatter then all-gather.
+
+    Total volume per rank: ``2 (P-1)/P * flat.nbytes`` — the figure the
+    paper uses for DP/FSDP gradient synchronisation.
+    """
+    flat = np.asarray(flat).reshape(-1)
+    p = comm.world_size
+    if p == 1:
+        return flat.copy()
+    mine = reduce_scatter(comm, flat, tag + ("rs",), nbytes_per_element)
+    nb = (
+        int(mine.size * nbytes_per_element)
+        if nbytes_per_element is not None
+        else None
+    )
+    gathered = all_gather(comm, mine, tag + ("ag",), nbytes=nb)
+    return np.concatenate(gathered)

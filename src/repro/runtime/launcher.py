@@ -1,0 +1,80 @@
+"""Launch a group of worker threads sharing one fabric.
+
+``run_workers(P, fn)`` is the moral equivalent of ``mpiexec -n P``:
+``fn(comm)`` runs once per rank on its own thread, return values come
+back indexed by rank, and the first exception anywhere aborts the whole
+group (peers blocked in ``recv`` are woken with ``FabricAborted``) and
+is re-raised in the caller with its original traceback.
+
+Threads — not processes — because the workloads are NumPy-bound (GIL
+released inside BLAS) and, more importantly, because the point of the
+functional runtime is *semantics*, not wall-clock parallel speed; the
+performance questions are answered by :mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Any, Callable, List, Optional
+
+from .communicator import Communicator, Fabric
+
+__all__ = ["run_workers", "WorkerError"]
+
+
+class WorkerError(RuntimeError):
+    """Wraps an exception raised inside a worker, annotated with its rank."""
+
+    def __init__(self, rank: int, original: BaseException, tb: str):
+        super().__init__(f"worker rank {rank} failed: {original!r}\n{tb}")
+        self.rank = rank
+        self.original = original
+
+
+def run_workers(
+    world_size: int,
+    fn: Callable[[Communicator], Any],
+    timeout: float = 120.0,
+    fabric: Optional[Fabric] = None,
+) -> List[Any]:
+    """Run ``fn(comm)`` on ``world_size`` ranks; return per-rank results.
+
+    ``timeout`` bounds both individual receives (fabric timeout) and the
+    overall join, so schedule deadlocks surface as errors rather than
+    hangs.  Pass a pre-built ``fabric`` to inspect traffic stats after
+    the run.
+    """
+    fab = fabric if fabric is not None else Fabric(world_size, timeout=timeout)
+    if fab.world_size != world_size:
+        raise ValueError("fabric world_size does not match")
+
+    results: List[Any] = [None] * world_size
+    errors: List[Optional[WorkerError]] = [None] * world_size
+
+    def target(rank: int) -> None:
+        comm = fab.communicator(rank)
+        try:
+            results[rank] = fn(comm)
+        except BaseException as exc:  # noqa: BLE001 - must propagate everything
+            errors[rank] = WorkerError(rank, exc, traceback.format_exc())
+            fab.abort(f"rank {rank} raised {exc!r}")
+
+    threads = [
+        threading.Thread(target=target, args=(r,), name=f"worker-{r}", daemon=True)
+        for r in range(world_size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+        if t.is_alive():
+            fab.abort("join timeout")
+            raise TimeoutError(
+                f"worker {t.name} did not finish within {timeout}s"
+            )
+
+    for err in errors:
+        if err is not None:
+            raise err
+    return results

@@ -1,0 +1,68 @@
+"""Message envelope and traffic accounting for the simulated fabric.
+
+Payloads are arbitrary Python objects (NumPy arrays and
+:class:`~repro.nn.params.ParamStruct` in practice).  Every message
+carries an explicit *logical* byte count: the size the payload would
+occupy on the wire at its storage precision (fp16 chunks are half the
+NumPy float32 bytes).  The fabric sums these per (src, dst) pair, which
+is how the functional tests verify the paper's communication-volume
+claims without a real network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+__all__ = ["Message", "payload_nbytes", "TrafficStats"]
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Physical byte size of a payload (fallback when no logical size given)."""
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if hasattr(payload, "numel"):  # ParamStruct
+        # assume fp32 storage when unspecified
+        return int(payload.numel) * 4
+    if isinstance(payload, (tuple, list)):
+        return sum(payload_nbytes(p) for p in payload)
+    if isinstance(payload, dict):
+        return sum(payload_nbytes(p) for p in payload.values())
+    if isinstance(payload, (int, float, bool)):
+        return 8
+    return 0
+
+
+@dataclass
+class Message:
+    """One point-to-point message."""
+
+    src: int
+    dst: int
+    tag: Tuple
+    payload: Any
+    nbytes: int
+
+
+@dataclass
+class TrafficStats:
+    """Aggregated communication volume, maintained by the fabric."""
+
+    messages: int = 0
+    bytes_total: int = 0
+    by_pair: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    by_src: Dict[int, int] = field(default_factory=dict)
+
+    def record(self, msg: Message) -> None:
+        self.messages += 1
+        self.bytes_total += msg.nbytes
+        pair = (msg.src, msg.dst)
+        self.by_pair[pair] = self.by_pair.get(pair, 0) + msg.nbytes
+        self.by_src[msg.src] = self.by_src.get(msg.src, 0) + msg.nbytes
+
+    def max_pair_bytes(self) -> int:
+        return max(self.by_pair.values(), default=0)

@@ -1,0 +1,90 @@
+"""Sub-communicators: MPI_Comm_split for the simulated fabric.
+
+A :class:`SubCommunicator` presents a contiguous 0..n-1 rank view over
+an arbitrary subset of a fabric's global ranks, namespacing every tag so
+different groups never cross-match.  Ring collectives and all strategy
+code work unchanged on it (they only use ``rank``/``world_size``/
+``left``/``right``/``send``/``recv``), which is what enables 2-D
+hybrids: e.g. WeiPipe rings inside data-parallel replica groups
+(:mod:`repro.core.hybrid`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from .communicator import Communicator
+
+__all__ = ["SubCommunicator", "split_grid"]
+
+
+class SubCommunicator(Communicator):
+    """A rank-remapped, tag-namespaced view of a parent communicator."""
+
+    def __init__(self, parent: Communicator, ranks: Sequence[int], name: Any):
+        ranks = list(ranks)
+        if len(set(ranks)) != len(ranks):
+            raise ValueError("duplicate global ranks in subgroup")
+        if parent.rank not in ranks:
+            raise ValueError(
+                f"global rank {parent.rank} is not a member of subgroup {ranks}"
+            )
+        for r in ranks:
+            if not (0 <= r < parent.world_size):
+                raise ValueError(f"global rank {r} out of range")
+        self.fabric = parent.fabric
+        #: local rank within the subgroup (``left``/``right`` inherit it).
+        self.rank = ranks.index(parent.rank)
+        self._parent = parent
+        self._ranks = ranks
+        self._name = name
+
+    # -- remapped identity -----------------------------------------------------
+
+    @property
+    def world_size(self) -> int:  # type: ignore[override]
+        return len(self._ranks)
+
+    def global_rank(self, local: int) -> int:
+        """Translate a subgroup rank to the fabric's global rank."""
+        return self._ranks[local]
+
+    # -- namespaced point to point ------------------------------------------------
+
+    def _tag(self, tag: Tuple) -> Tuple:
+        return ("subgroup", self._name) + tuple(tag)
+
+    def send(self, payload, dst: int, tag: Tuple = (), nbytes: Optional[int] = None) -> None:
+        self._parent.send(payload, self._ranks[dst], self._tag(tag), nbytes=nbytes)
+
+    isend = send
+
+    def recv(self, src: int, tag: Tuple = (), timeout: Optional[float] = None):
+        return self._parent.recv(self._ranks[src], self._tag(tag), timeout=timeout)
+
+    def irecv(self, src: int, tag: Tuple = ()):
+        return self._parent.irecv(self._ranks[src], self._tag(tag))
+
+
+def split_grid(
+    comm: Communicator, rows: int, cols: int
+) -> Tuple[SubCommunicator, SubCommunicator, int, int]:
+    """Split a ``rows x cols`` world into this rank's row and column groups.
+
+    Rank ``r`` sits at ``(row, col) = divmod(r, cols)``.  Returns
+    ``(row_comm, col_comm, row, col)`` — e.g. rows = data-parallel
+    replicas of a ``cols``-wide WeiPipe ring, columns = the same ring
+    position across replicas (the gradient-sync group).
+    """
+    if rows * cols != comm.world_size:
+        raise ValueError(
+            f"{rows}x{cols} grid does not tile world size {comm.world_size}"
+        )
+    row, col = divmod(comm.rank, cols)
+    row_comm = SubCommunicator(
+        comm, [row * cols + c for c in range(cols)], ("row", row)
+    )
+    col_comm = SubCommunicator(
+        comm, [r * cols + col for r in range(rows)], ("col", col)
+    )
+    return row_comm, col_comm, row, col

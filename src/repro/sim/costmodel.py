@@ -1,0 +1,228 @@
+"""Analytic cost model: FLOPs, bytes and times for Llama-style training.
+
+Notation follows the paper's Table 1: ``H`` hidden size, ``S`` sequence
+length, ``G`` microbatch size, ``L`` layers, ``N`` microbatches per
+iteration, ``P`` workers.  All sizes below are per *microbatch* and per
+*layer* unless stated otherwise.
+
+Compute
+-------
+Dense-GEMM forward FLOPs per layer are ``2 * params * G * S`` with
+``params = 12 H^2`` (Llama: ``4H^2`` attention + ``8H^2`` SwiGLU), plus
+causal attention score/value FLOPs ``2 G S^2 H``.  Backward costs twice
+the forward (the paper's "backward takes approximately twice as long"),
+split evenly between its B and W halves for zero-bubble schedules;
+recomputation adds one forward on top.
+
+Realised throughput is ``peak_flops * efficiency`` where the efficiency
+curve saturates in both GEMM width and token count::
+
+    eff = EFF_MAX * H/(H + H_HALF) * GS/(GS + TOK_HALF)
+
+calibrated against Table 2 (H=1024 lands near 22% MFU, H=4096 near
+40%).  The token term is what penalises the ZB baselines when OOM forces
+their ``G`` down to 1 (Section 6.1).
+
+Memory
+------
+Per-layer fp16 activation-cache coefficients (with Flash Attention; the
+``S^2`` probability matrix adds back when it is off):
+
+* ``ACT_FULL_PER_TOKEN``  — ~18.7 H-equivalents of stored tensors
+  (8 hidden-wide + 4 FFN-wide at F=8H/3) => ~37 bytes/token/H in fp16;
+* ``BGRAD_PER_TOKEN``     — B-pass gradient bundle, ~= the forward
+  activations (the paper's ``M_B ~= M_A`` assumption);
+* boundary input for recomputation — exactly ``2 G S H`` bytes.
+
+The loss is computed in row chunks (standard practice) so logits never
+materialise at full ``G*S*V``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .hardware import GPU
+
+__all__ = ["WorkloadDims", "ExecConfig", "CostModel"]
+
+
+# -- calibration constants (see module docstring and EXPERIMENTS.md) ----------
+
+EFF_MAX = 0.55
+H_HALF = 1500.0
+TOK_HALF = 800.0
+#: fixed per layer-op cost (kernel launches, scheduling) — weighs 4x
+#: heavier when OOM pressure forces G from 16 down to 4, the reason the
+#: paper's ZB baselines trail 1F1B despite near-zero bubbles (§6.1).
+OP_OVERHEAD = 1.5e-3
+
+#: fp16 bytes/token/hidden-unit of a full layer activation cache (flash on).
+ACT_FULL_COEF = 37.0
+#: ditto for the B-pass gradient bundle (M_B ~= M_A).
+BGRAD_COEF = 30.0
+#: loss rows processed at a time (bounds transient logits memory).
+LOSS_CHUNK_ROWS = 2048
+
+
+@dataclass(frozen=True)
+class WorkloadDims:
+    """One cell of the paper's evaluation grid."""
+
+    hidden: int
+    n_layers: int
+    seq_len: int
+    microbatch: int  # G
+    n_microbatches: int  # N
+    n_heads: int = 32
+    vocab: int = 32000
+
+    @property
+    def ffn(self) -> int:
+        return int(round(8 * self.hidden / 3))
+
+    @property
+    def layer_params(self) -> int:
+        return 4 * self.hidden**2 + 3 * self.hidden * self.ffn + 2 * self.hidden
+
+    @property
+    def model_params(self) -> int:
+        return (
+            self.layer_params * self.n_layers
+            + 2 * self.vocab * self.hidden
+            + self.hidden
+        )
+
+    @property
+    def tokens_per_microbatch(self) -> int:
+        return self.microbatch * self.seq_len
+
+    @property
+    def tokens_per_iteration(self) -> int:
+        return self.tokens_per_microbatch * self.n_microbatches
+
+    def with_(self, **kw) -> "WorkloadDims":
+        return replace(self, **kw)
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """Execution knobs shared by all strategies (paper Section 5)."""
+
+    act_bytes: int = 2  # fp16 activations
+    bgrad_bytes: int = 2  # bf16 activation grads
+    weight_bytes: int = 2  # fp16 weights on the wire
+    wgrad_bytes: int = 2  # fp16 weight grads on the wire
+    optimizer_bytes_per_param: int = 12  # fp32 master + Adam m, v
+    recompute: bool = True
+    flash_attention: bool = True
+    overlap: bool = True  # comm/compute overlap (batch_isend_irecv)
+
+
+class CostModel:
+    """Times and sizes for one workload on one GPU model."""
+
+    def __init__(self, dims: WorkloadDims, gpu: GPU, exec_cfg: ExecConfig = ExecConfig()):
+        self.dims = dims
+        self.gpu = gpu
+        self.cfg = exec_cfg
+
+    # -- compute ---------------------------------------------------------------
+
+    def efficiency(self) -> float:
+        """Fraction of peak FLOPS realised for this workload's op shapes."""
+        h = self.dims.hidden
+        gs = self.dims.tokens_per_microbatch
+        return EFF_MAX * (h / (h + H_HALF)) * (gs / (gs + TOK_HALF))
+
+    def flops_fwd_layer(self) -> float:
+        d = self.dims
+        gemm = 2.0 * d.layer_params * d.tokens_per_microbatch
+        attn = 2.0 * d.microbatch * d.seq_len**2 * d.hidden  # causal half
+        return gemm + attn
+
+    def t_fwd_layer(self) -> float:
+        """Seconds to forward one layer for one microbatch."""
+        flop_time = self.flops_fwd_layer() / (self.gpu.flops * self.efficiency())
+        return flop_time + OP_OVERHEAD
+
+    def t_bwd_layer(self) -> float:
+        """Full backward (B+W), ~2x forward; + recompute forward if on."""
+        t = 2.0 * self.t_fwd_layer()
+        if self.cfg.recompute:
+            t += self.t_fwd_layer()
+        return t
+
+    def t_b_layer(self) -> float:
+        """B half of a decoupled backward (activation grads)."""
+        return self.t_fwd_layer()
+
+    def t_w_layer(self) -> float:
+        """W half of a decoupled backward (weight grads)."""
+        return self.t_fwd_layer()
+
+    # -- message sizes -----------------------------------------------------------
+
+    def act_message_bytes(self) -> int:
+        """One activation boundary: what classical PP sends per hop."""
+        d = self.dims
+        return d.tokens_per_microbatch * d.hidden * self.cfg.act_bytes
+
+    def bgrad_message_bytes(self) -> int:
+        d = self.dims
+        return d.tokens_per_microbatch * d.hidden * self.cfg.bgrad_bytes
+
+    def weight_chunk_bytes(self, layers: int = 1) -> int:
+        """``layers`` layers of weights on the wire (~``12 H^2`` each)."""
+        return self.dims.layer_params * layers * self.cfg.weight_bytes
+
+    def wgrad_chunk_bytes(self, layers: int = 1) -> int:
+        return self.dims.layer_params * layers * self.cfg.wgrad_bytes
+
+    # -- per-layer memory ----------------------------------------------------------
+
+    def act_full_cache_bytes(self) -> float:
+        """Full (no-recompute) activation cache of one layer, one microbatch."""
+        d = self.dims
+        base = ACT_FULL_COEF * d.tokens_per_microbatch * d.hidden
+        if not self.cfg.flash_attention:
+            base += (
+                2.0 * d.microbatch * d.n_heads * d.seq_len**2 * self.cfg.act_bytes
+            )
+        return base
+
+    def act_boundary_bytes(self) -> float:
+        """Recompute mode: only the layer input survives the forward."""
+        d = self.dims
+        return d.tokens_per_microbatch * d.hidden * self.cfg.act_bytes
+
+    def bgrad_cache_bytes(self) -> float:
+        """B-pass gradient bundle alive until the matching W pass."""
+        d = self.dims
+        return BGRAD_COEF * d.tokens_per_microbatch * d.hidden
+
+    def logits_transient_bytes(self) -> float:
+        """Chunked loss: logits for LOSS_CHUNK_ROWS positions at a time."""
+        d = self.dims
+        rows = min(LOSS_CHUNK_ROWS, d.tokens_per_microbatch)
+        return rows * d.vocab * self.cfg.act_bytes
+
+    def weights_resident_bytes(self, layers: float) -> float:
+        """fp16 weights + fp16 grad buffer for ``layers`` layers."""
+        return self.dims.layer_params * layers * (
+            self.cfg.weight_bytes + self.cfg.wgrad_bytes
+        )
+
+    def optimizer_bytes(self, layers: float) -> float:
+        """fp32 master + Adam moments for the layers this worker updates."""
+        return self.dims.layer_params * layers * self.cfg.optimizer_bytes_per_param
+
+    def embedding_bytes(self) -> float:
+        """Embedding + head storage (weights+grad+optimizer) where resident."""
+        d = self.dims
+        per_param = (
+            self.cfg.weight_bytes
+            + self.cfg.wgrad_bytes
+            + self.cfg.optimizer_bytes_per_param
+        )
+        return 2.0 * d.vocab * d.hidden * per_param

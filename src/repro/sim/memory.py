@@ -1,0 +1,275 @@
+"""Analytic peak-memory model per strategy (Table 2's "Memory (GB)").
+
+Each function returns per-worker peak bytes; the max decides OOM against
+the GPU's 80 GB.  The decisive paper finding this model must reproduce
+(§6.1): with Flash Attention removing the ``S^2`` attention matrices,
+*FFN activations dominate*, so the zero-bubble baselines — which cannot
+recompute and must keep both the full forward caches and the B-pass
+gradient bundles alive until their deferred W passes — blow past 80 GB
+at ``H >= 2048`` while 1F1B/FSDP/WeiPipe (recompute on, boundary-only
+storage) stay under 20 GB.
+
+Components (see :class:`~repro.sim.costmodel.CostModel` for sizes):
+
+========================  ====================================================
+weights + grad buffers    fp16 + fp16, for the layers resident on the worker
+optimizer states          fp32 master + Adam moments, for the layers *owned*
+embedding / head          on stage 0 / P-1 for pipelines; riding the ring
+                          (plus owner's optimizer) for WeiPipe
+activation storage        schedule-dependent liveness x per-layer size
+transient working set     one layer's full cache + B-grad bundle + chunked
+                          logits during loss
+========================  ====================================================
+
+Liveness counts come from the *functional* implementations (verified by
+``tests/parallel/test_pipeline_behaviour.py``): GPipe holds ``N``
+microbatches, 1F1B ``P - rank``, ZB1/ZB2 their warmup depth plus the
+deferred-W window, WeiPipe-Interleave a constant ``~(P+1)/P`` model's
+worth of boundaries regardless of ``P``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .costmodel import CostModel, ExecConfig, WorkloadDims
+from .hardware import Cluster
+
+__all__ = ["peak_memory_per_worker", "peak_memory", "MEMORY_MODELS"]
+
+
+def _act_per_layer(cost: CostModel) -> float:
+    """Stored bytes per layer per in-flight microbatch."""
+    if cost.cfg.recompute:
+        return cost.act_boundary_bytes()
+    return cost.act_full_cache_bytes()
+
+
+def _working_set(cost: CostModel, with_logits: bool) -> float:
+    """Transient bytes while backwarding one layer (cache rebuilt by
+    recompute or already resident) plus its B-grad bundle."""
+    w = cost.act_full_cache_bytes() + cost.bgrad_cache_bytes()
+    if with_logits:
+        w += cost.logits_transient_bytes()
+    return w
+
+
+def _embed_head_bytes(cost: CostModel) -> float:
+    return cost.embedding_bytes() / 2.0  # one of {embedding, head}
+
+
+def _pipeline_common(cost: CostModel, dims: WorkloadDims, world: int, rank: int) -> float:
+    lps = dims.n_layers // world
+    total = cost.weights_resident_bytes(lps) + cost.optimizer_bytes(lps)
+    if rank == 0 or rank == world - 1:
+        total += _embed_head_bytes(cost)
+    return total
+
+
+def _mem_gpipe(dims, cluster, cost) -> List[float]:
+    world = cluster.world_size
+    lps = dims.n_layers // world
+    act = _act_per_layer(cost)
+    out = []
+    for r in range(world):
+        inflight = dims.n_microbatches
+        m = _pipeline_common(cost, dims, world, r)
+        m += inflight * lps * act
+        m += _working_set(cost, with_logits=(r == world - 1))
+        out.append(m)
+    return out
+
+
+def _mem_1f1b(dims, cluster, cost) -> List[float]:
+    world = cluster.world_size
+    lps = dims.n_layers // world
+    act = _act_per_layer(cost)
+    out = []
+    for r in range(world):
+        inflight = min(dims.n_microbatches, world - r)
+        m = _pipeline_common(cost, dims, world, r)
+        m += inflight * lps * act
+        m += _working_set(cost, with_logits=(r == world - 1))
+        out.append(m)
+    return out
+
+
+def _mem_zb(dims, cluster, cost, variant: str) -> List[float]:
+    """Zero-bubble: full caches (no recompute) + deferred-W windows.
+
+    Between a B pass and its W pass both the forward cache and the
+    B-grad bundle stay alive; ZB2's deferral window is ``2(P-r) - 1``
+    microbatches deep vs ZB1's 1.
+    """
+    world = cluster.world_size
+    lps = dims.n_layers // world
+    act_full = cost.act_full_cache_bytes()
+    bgrad = cost.bgrad_cache_bytes()
+    out = []
+    for r in range(world):
+        # ZB2's extra memory comes from its ~2x-deeper warmup (forward
+        # caches); its W passes still trail B passes by a small window,
+        # so the B-grad liveness term matches ZB1's.
+        if variant == "zb1":
+            warmup = min(dims.n_microbatches, world - r)
+        else:
+            warmup = min(dims.n_microbatches, 2 * (world - r) - 1)
+        w_window = 2
+        m = _pipeline_common(cost, dims, world, r)
+        m += warmup * lps * act_full  # all warmup caches alive at once
+        m += min(w_window, dims.n_microbatches) * lps * (act_full + bgrad) * 0.5
+        m += _working_set(cost, with_logits=(r == world - 1))
+        out.append(m)
+    return out
+
+
+def _mem_fsdp(dims, cluster, cost) -> List[float]:
+    world = cluster.world_size
+    per_param = (
+        cost.cfg.weight_bytes
+        + cost.cfg.wgrad_bytes
+        + cost.cfg.optimizer_bytes_per_param
+    )
+    shard = dims.model_params * per_param / world
+    gathered = 2 * dims.layer_params * cost.cfg.weight_bytes  # prefetch depth 2
+    grad_transient = dims.layer_params * cost.cfg.wgrad_bytes
+    act = _act_per_layer(cost) * dims.n_layers  # one local microbatch
+    m = shard + gathered + grad_transient + act + _working_set(cost, True)
+    return [m] * world
+
+
+def _mem_tp(dims, cluster, cost) -> List[float]:
+    """TP: 1/P of the split matrices (the vast majority of params), full
+    replicated norms/embeddings, plus one local microbatch's activations
+    (queries are not sharded: activation memory is NOT divided by P,
+    TP's well-known weakness at long context)."""
+    world = cluster.world_size
+    per_param = (
+        cost.cfg.weight_bytes
+        + cost.cfg.wgrad_bytes
+        + cost.cfg.optimizer_bytes_per_param
+    )
+    split = dims.layer_params * dims.n_layers * per_param / world
+    replicated = 2 * dims.vocab * dims.hidden * per_param
+    act = _act_per_layer(cost) * dims.n_layers
+    m = split + replicated + act + _working_set(cost, True)
+    return [m] * world
+
+
+def _mem_sp(dims, cluster, cost) -> List[float]:
+    """SP: full model replica (DP-style states) but activations divided
+    by P (the technique's purpose), plus the transient gathered K/V."""
+    world = cluster.world_size
+    per_param = (
+        cost.cfg.weight_bytes
+        + cost.cfg.wgrad_bytes
+        + cost.cfg.optimizer_bytes_per_param
+    )
+    act = _act_per_layer(cost) * dims.n_layers / world
+    kv_transient = 2 * cost.act_message_bytes()
+    m = (
+        dims.model_params * per_param
+        + act
+        + kv_transient
+        + _working_set(cost, True) / world
+    )
+    return [m] * world
+
+
+def _mem_dp(dims, cluster, cost) -> List[float]:
+    per_param = (
+        cost.cfg.weight_bytes
+        + cost.cfg.wgrad_bytes
+        + cost.cfg.optimizer_bytes_per_param
+    )
+    act = _act_per_layer(cost) * dims.n_layers
+    m = dims.model_params * per_param + act + _working_set(cost, True)
+    return [m] * cluster.world_size
+
+
+def _mem_weipipe(dims, cluster, cost, mode: str) -> List[float]:
+    """WeiPipe: three circulating slots (2 W + D), double-buffered, plus
+    owner-local optimizer state, plus the steady-state activation load.
+
+    Interleave keeps one forwarding and one backwarding microbatch whose
+    combined boundary count is ``(P+1)/P`` models' worth; Naive keeps a
+    single microbatch's.  Embedding and head weights ride the ring, so
+    every worker transiently holds copies; their optimizer state sits on
+    their owners.
+    """
+    world = cluster.world_size
+    lps = dims.n_layers // world
+    wire = cost.cfg.weight_bytes + cost.cfg.wgrad_bytes
+    slots = 2 * cost.weights_resident_bytes(lps)  # 2 W flows (w+d wire pair)
+    slots += cost.wgrad_chunk_bytes(lps)
+    slots *= 2  # double buffering for the prefetched next turn
+    opt = cost.optimizer_bytes(lps)
+    embed_ride = 2 * dims.vocab * dims.hidden * cost.cfg.weight_bytes * 2
+    embed_opt = cost.embedding_bytes() / world  # owners share the extras
+
+    act = _act_per_layer(cost)
+    if mode == "interleave":
+        act_live = (world + 1) / world * dims.n_layers * act
+    else:
+        act_live = dims.n_layers * act
+    m = slots + opt + embed_ride + embed_opt + act_live + _working_set(cost, True)
+    return [m] * world
+
+
+def _mem_weipipe_zb(dims, cluster, cost, variant: str) -> List[float]:
+    """WZB liveness per paper §4.4: WZB1 peaks near ``1.5 G M_A``; WZB2
+    nearly doubles ZB1-like storage."""
+    world = cluster.world_size
+    lps = dims.n_layers // world
+    base = _mem_weipipe(dims, cluster, cost, "interleave")[0]
+    act_full = cost.act_full_cache_bytes() * dims.n_layers
+    bgrad = cost.bgrad_cache_bytes() * dims.n_layers
+    # replace the recompute-boundary activation term with full caches.
+    boundary_term = (world + 1) / world * dims.n_layers * _act_per_layer(cost)
+    if variant == "wzb1":
+        act_live = 1.5 * act_full + 0.5 * bgrad
+    else:
+        act_live = 2.0 * act_full + bgrad
+    m = base - boundary_term + act_live
+    return [m] * world
+
+
+MEMORY_MODELS = {
+    "gpipe": lambda d, c, m: _mem_gpipe(d, c, m),
+    "1f1b": lambda d, c, m: _mem_1f1b(d, c, m),
+    "zb1": lambda d, c, m: _mem_zb(d, c, m, "zb1"),
+    "zb2": lambda d, c, m: _mem_zb(d, c, m, "zb2"),
+    "fsdp": lambda d, c, m: _mem_fsdp(d, c, m),
+    "dp": lambda d, c, m: _mem_dp(d, c, m),
+    "tp": lambda d, c, m: _mem_tp(d, c, m),
+    "sp": lambda d, c, m: _mem_sp(d, c, m),
+    "weipipe-naive": lambda d, c, m: _mem_weipipe(d, c, m, "naive"),
+    "weipipe-interleave": lambda d, c, m: _mem_weipipe(d, c, m, "interleave"),
+    "weipipe-wzb1": lambda d, c, m: _mem_weipipe_zb(d, c, m, "wzb1"),
+    "weipipe-wzb2": lambda d, c, m: _mem_weipipe_zb(d, c, m, "wzb2"),
+}
+
+
+def peak_memory_per_worker(
+    strategy: str,
+    dims: WorkloadDims,
+    cluster: Cluster,
+    exec_cfg: ExecConfig = ExecConfig(),
+) -> List[float]:
+    """Peak bytes per worker for ``strategy`` on this workload."""
+    try:
+        fn = MEMORY_MODELS[strategy]
+    except KeyError:
+        raise ValueError(f"no memory model for strategy {strategy!r}") from None
+    cost = CostModel(dims, cluster.gpu, exec_cfg)
+    return fn(dims, cluster, cost)
+
+
+def peak_memory(
+    strategy: str,
+    dims: WorkloadDims,
+    cluster: Cluster,
+    exec_cfg: ExecConfig = ExecConfig(),
+) -> float:
+    """Worst worker's peak bytes (what decides OOM)."""
+    return max(peak_memory_per_worker(strategy, dims, cluster, exec_cfg))

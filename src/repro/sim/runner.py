@@ -1,0 +1,64 @@
+"""One-call simulation of a strategy on a workload and cluster.
+
+``run_cell`` is the unit of every table/figure bench: it applies the
+paper's per-strategy execution rules (recomputation on for
+1F1B/GPipe/FSDP/DP/WeiPipe, off for all zero-bubble variants), builds
+the schedule, simulates it, and returns a :class:`SimReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict
+
+from .costmodel import ExecConfig, WorkloadDims
+from .hardware import Cluster
+from .metrics import SimReport, evaluate
+from .schedules.base import BuiltSchedule
+from .schedules.fsdp import build_dp, build_fsdp
+from .schedules.pipeline import build_pipeline
+from .schedules.seqpar import build_sp
+from .schedules.tensor import build_tp
+from .schedules.weipipe import build_weipipe
+from .schedules.weipipe_zb import build_weipipe_zb
+
+__all__ = ["run_cell", "SIM_STRATEGIES", "NO_RECOMPUTE_STRATEGIES"]
+
+SIM_STRATEGIES: Dict[str, Callable[[WorkloadDims, Cluster, ExecConfig], BuiltSchedule]] = {
+    "gpipe": lambda d, c, e: build_pipeline("gpipe", d, c, e),
+    "1f1b": lambda d, c, e: build_pipeline("1f1b", d, c, e),
+    "zb1": lambda d, c, e: build_pipeline("zb1", d, c, e),
+    "zb2": lambda d, c, e: build_pipeline("zb2", d, c, e),
+    "fsdp": lambda d, c, e: build_fsdp(d, c, e),
+    "dp": lambda d, c, e: build_dp(d, c, e),
+    "tp": lambda d, c, e: build_tp(d, c, e),
+    "sp": lambda d, c, e: build_sp(d, c, e),
+    "weipipe-naive": lambda d, c, e: build_weipipe("naive", d, c, e),
+    "weipipe-interleave": lambda d, c, e: build_weipipe("interleave", d, c, e),
+    "weipipe-wzb1": lambda d, c, e: build_weipipe_zb("wzb1", d, c, e),
+    "weipipe-wzb2": lambda d, c, e: build_weipipe_zb("wzb2", d, c, e),
+}
+
+#: zero-bubble schedules keep forward caches until the W pass, so
+#: recomputation is forced off for them (paper §5).
+NO_RECOMPUTE_STRATEGIES = {"zb1", "zb2", "weipipe-wzb1", "weipipe-wzb2"}
+
+
+def run_cell(
+    strategy: str,
+    dims: WorkloadDims,
+    cluster: Cluster,
+    exec_cfg: ExecConfig = ExecConfig(),
+) -> SimReport:
+    """Simulate ``strategy`` for one evaluation cell."""
+    try:
+        builder = SIM_STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown simulated strategy {strategy!r}; "
+            f"choose from {sorted(SIM_STRATEGIES)}"
+        ) from None
+    if strategy in NO_RECOMPUTE_STRATEGIES and exec_cfg.recompute:
+        exec_cfg = replace(exec_cfg, recompute=False)
+    built = builder(dims, cluster, exec_cfg)
+    return evaluate(built)

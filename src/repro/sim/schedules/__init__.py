@@ -1,0 +1,21 @@
+"""Schedule builders: strategy -> task graph."""
+
+from .base import BuiltSchedule
+from .fsdp import build_dp, build_fsdp, ring_collective_time
+from .pipeline import build_pipeline
+from .seqpar import build_sp
+from .tensor import build_tp
+from .weipipe import build_weipipe
+from .weipipe_zb import build_weipipe_zb
+
+__all__ = [
+    "BuiltSchedule",
+    "build_dp",
+    "build_fsdp",
+    "build_pipeline",
+    "build_sp",
+    "build_tp",
+    "build_weipipe",
+    "build_weipipe_zb",
+    "ring_collective_time",
+]

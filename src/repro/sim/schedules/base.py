@@ -1,0 +1,63 @@
+"""Common types for schedule builders.
+
+A builder turns (workload, cluster, exec config) into a
+:class:`~repro.sim.engine.TaskGraph` whose compute tasks carry
+``worker`` and ``kind`` metadata; the metrics layer derives throughput,
+bubble ratios and per-link bandwidth from the simulated timeline.
+
+Conventions:
+
+* compute resources are ``("compute", worker)``;
+* ring messages use ``("link", src, dst)`` with the link chosen by the
+  cluster topology; collectives use the shared ``("net",)`` resource;
+* compute tasks set ``kind`` in {"F", "B", "W", "BW", "turn"}, plus
+  ``worker``; comm tasks set ``kind="comm"`` and ``nbytes``.
+* With ``overlap=False`` builders route comm through the *sender's*
+  compute resource, serialising it with computation — the ablation for
+  the paper's ``batch_isend_irecv`` prefetching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..costmodel import CostModel, ExecConfig, WorkloadDims
+from ..engine import TaskGraph
+from ..hardware import Cluster
+
+__all__ = ["BuiltSchedule", "comm_resource", "validate_divisible"]
+
+
+@dataclass
+class BuiltSchedule:
+    """A ready-to-simulate schedule plus its provenance."""
+
+    name: str
+    graph: TaskGraph
+    dims: WorkloadDims
+    cluster: Cluster
+    cost: CostModel
+    exec_cfg: ExecConfig
+    #: workers that actually do compute (for bubble accounting)
+    compute_workers: Optional[list] = None
+
+    @property
+    def world_size(self) -> int:
+        return self.cluster.world_size
+
+
+def comm_resource(cluster: Cluster, src: int, dst: int, overlap: bool):
+    """Resource a point-to-point message occupies.
+
+    Overlapping transfers ride the directed link; non-overlapping ones
+    ride the sender's compute stream (they block computation).
+    """
+    if overlap:
+        return ("link", src, dst)
+    return ("compute", src)
+
+
+def validate_divisible(a: int, b: int, what: str) -> None:
+    if a % b != 0:
+        raise ValueError(f"{what}: {a} not divisible by {b}")

@@ -1,0 +1,141 @@
+"""WeiPipe weight-ring schedules for the simulator (Naive & Interleave).
+
+Reuses the *same* turn schedules as the functional engine
+(:mod:`repro.core.schedule`) — the timing model and the numerics are two
+views of one protocol.
+
+Per turn a worker receives three payloads from its predecessor (forward
+weight slot, backward weight slot, gradient slot: ``2 W + 1 D``, i.e.
+``36 H^2`` per Llama layer) and computes its scheduled forward and/or
+backward slot.  Dependency structure:
+
+* **weight flows prefetch**: slot arrivals depend only on the previous
+  hop's arrival (weights are read-only — NCCL can forward them as soon
+  as they land, the paper's ``batch_isend_irecv`` prefetch) plus a
+  double-buffer constraint (a worker can hold the incoming slot for turn
+  ``t+1`` while using turn ``t``'s, but no deeper);
+* **the gradient flow cannot prefetch**: ``D`` leaving worker ``p`` at
+  turn ``t`` contains ``p``'s turn-``t`` backward contribution, so its
+  hop depends on that compute — this is the flow that paces the ring
+  when communication is slow;
+* a worker's turn compute depends on its previous turn and on the
+  arrivals it consumes.
+
+At iteration end the owner applies the update (a small compute task) and
+re-injects weights (one extra hop), matching the functional engine's
+update pass.
+"""
+
+from __future__ import annotations
+
+from ...core.schedule import interleave_schedule, naive_schedule
+from ..costmodel import CostModel, ExecConfig, WorkloadDims
+from ..engine import TaskGraph
+from ..hardware import Cluster
+from .base import BuiltSchedule, comm_resource, validate_divisible
+
+__all__ = ["build_weipipe"]
+
+
+def build_weipipe(
+    mode: str,
+    dims: WorkloadDims,
+    cluster: Cluster,
+    exec_cfg: ExecConfig = ExecConfig(),
+) -> BuiltSchedule:
+    """Build the WeiPipe task graph (``mode`` in {"naive", "interleave"})."""
+    world = cluster.world_size
+    validate_divisible(dims.n_layers, world, "layers per slot")
+    validate_divisible(dims.n_microbatches, world, "microbatches per round")
+    lps = dims.n_layers // world
+    cost = CostModel(dims, cluster.gpu, exec_cfg)
+
+    if mode == "interleave":
+        total, task_fn = interleave_schedule(world, dims.n_microbatches)
+    elif mode == "naive":
+        total, task_fn = naive_schedule(world, dims.n_microbatches)
+    else:
+        raise ValueError(f"unknown WeiPipe mode {mode!r}")
+
+    g = TaskGraph()
+    t_f = lps * cost.t_fwd_layer()
+    t_bw = lps * cost.t_bwd_layer()
+    w_bytes = cost.weight_chunk_bytes(lps)
+    d_bytes = cost.wgrad_chunk_bytes(lps)
+
+    def turn_duration(p: int, t: int) -> float:
+        task = task_fn(p, t)
+        dur = 0.0
+        if task.fwd is not None:
+            dur += t_f
+        if task.bwd is not None:
+            dur += t_bw
+        return dur
+
+    def bwd_computed(p: int, t: int) -> bool:
+        return task_fn(p, t).bwd is not None
+
+    # compute tasks: one per (worker, turn), zero-duration for idle turns
+    # so the per-worker chain stays uniform.
+    for p in range(world):
+        for t in range(total):
+            deps = []
+            if t > 0:
+                deps.append(("T", p, t - 1))
+                deps.extend((("AW", p, t), ("AD", p, t)))
+            g.add(
+                ("T", p, t), ("compute", p), turn_duration(p, t),
+                deps=tuple(deps), kind="turn", worker=p, turn=t,
+                fwd=task_fn(p, t).fwd, bwd=task_fn(p, t).bwd,
+            )
+
+    # arrival tasks: hop from p-1 into p, consumed at turn t.
+    for p in range(world):
+        left = (p - 1) % world
+        res = comm_resource(cluster, left, p, exec_cfg.overlap)
+        link = cluster.link(left, p)
+        for t in range(1, total):
+            # both weight flows aggregated into one transfer (they travel
+            # together; 2 slots of W).  The sender posts this isend at the
+            # start of its turn t-1 (i.e. once its turn t-2 completed) and
+            # the payload must have arrived there first — this is the
+            # batch_isend_irecv prefetch pattern: one turn of lookahead.
+            w_deps = []
+            if t > 1:
+                w_deps.append(("AW", left, t - 1))  # previous hop
+            if t > 2:
+                w_deps.append(("T", left, t - 2))  # sender's turn loop
+            g.add(
+                ("AW", p, t), res, link.time(2 * w_bytes), deps=tuple(w_deps),
+                kind="comm", nbytes=2 * w_bytes, src=left, dst=p,
+            )
+            # the D flow leaves p-1 only after p-1's turn t-1 compute
+            # (its backward contribution is in the buffer).
+            d_deps = [("T", left, t - 1)] if bwd_computed(left, t - 1) else []
+            if t > 1:
+                d_deps.append(("AD", left, t - 1))
+            g.add(
+                ("AD", p, t), res, link.time(d_bytes), deps=tuple(d_deps),
+                kind="comm", nbytes=d_bytes, src=left, dst=p,
+            )
+
+    # update pass: owner updates its slot after its last turn and the
+    # final D arrival, then re-injects the fwd-flow copy (one extra hop).
+    t_update = 0.05 * lps * cost.t_fwd_layer()  # elementwise optimizer math
+    for p in range(world):
+        g.add(
+            ("U", p), ("compute", p), t_update,
+            deps=(("T", p, total - 1),), kind="update", worker=p,
+        )
+        target = (1 - p) % world
+        if target != p:
+            res = comm_resource(cluster, p, target, exec_cfg.overlap)
+            g.add(
+                ("INJ", p), res, cluster.link(p, target).time(w_bytes),
+                deps=(("U", p),), kind="comm", nbytes=w_bytes, src=p, dst=target,
+            )
+
+    return BuiltSchedule(
+        name=f"weipipe-{mode}", graph=g, dims=dims, cluster=cluster,
+        cost=cost, exec_cfg=exec_cfg, compute_workers=list(range(world)),
+    )

@@ -1,0 +1,62 @@
+"""Test utilities: finite-difference gradient checking.
+
+Used by the test suite to validate every manual backward in
+:mod:`repro.nn` against central differences, and exported publicly so
+downstream users extending the layer zoo can check their own ops.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["numerical_grad", "assert_grad_close"]
+
+
+def numerical_grad(
+    f: Callable[[np.ndarray], float],
+    x: np.ndarray,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``f`` at ``x``.
+
+    ``x`` must be float64 for the default ``eps`` to be meaningful.
+    O(2 * x.size) evaluations of ``f`` — use small tensors.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        fp = f(x)
+        flat[i] = orig - eps
+        fm = f(x)
+        flat[i] = orig
+        gflat[i] = (fp - fm) / (2.0 * eps)
+    return grad
+
+
+def assert_grad_close(
+    analytic: np.ndarray,
+    numeric: np.ndarray,
+    rtol: float = 1e-5,
+    atol: float = 1e-7,
+    name: str = "grad",
+) -> None:
+    """Assert analytic and numeric gradients agree, with a useful message."""
+    analytic = np.asarray(analytic)
+    numeric = np.asarray(numeric)
+    if analytic.shape != numeric.shape:
+        raise AssertionError(
+            f"{name}: shape mismatch {analytic.shape} vs {numeric.shape}"
+        )
+    if not np.allclose(analytic, numeric, rtol=rtol, atol=atol):
+        err = np.abs(analytic - numeric)
+        rel = err / (np.abs(numeric) + atol)
+        raise AssertionError(
+            f"{name}: max abs err {err.max():.3e}, max rel err "
+            f"{rel.max():.3e} (rtol={rtol}, atol={atol})"
+        )

@@ -1,0 +1,75 @@
+"""Scheduled + clipped training stays equivalent across all strategies.
+
+The LR multiplier is a pure function of the iteration and the clip
+scale a deterministic function of the *global* gradient norm, so every
+strategy — whatever its gradient sharding — must produce the serial
+trajectory.  This exercises the scalar norm all-reduce in each
+strategy's update pass (and TP's replicated-tensor counting rule).
+"""
+
+import numpy as np
+import pytest
+
+from repro import FP64, Adam, ModelConfig, TrainSpec, train
+from repro.optim import cosine_with_warmup, linear_warmup
+
+CFG = ModelConfig(hidden=16, n_layers=4, n_heads=4, seq_len=8, vocab=29, ffn=16)
+
+STRATEGIES = [
+    ("dp", 4),
+    ("fsdp", 4),
+    ("1f1b", 4),
+    ("zb1", 4),
+    ("tp", 2),
+    ("sp", 4),
+    ("weipipe-naive", 4),
+    ("weipipe-interleave", 4),
+    ("weipipe-zb", 4),
+]
+
+
+def _spec(**kw):
+    base = dict(
+        cfg=CFG, n_microbatches=8, microbatch_size=2, iters=4, precision=FP64,
+        make_optimizer=lambda: Adam(lr=1e-2),
+    )
+    base.update(kw)
+    return TrainSpec(**base)
+
+
+class TestScheduledTraining:
+    def test_schedule_changes_trajectory(self):
+        plain = train(_spec(), "serial", 1)
+        warm = train(_spec(lr_schedule=linear_warmup(4)), "serial", 1)
+        assert not np.allclose(plain.losses, warm.losses)
+
+    @pytest.mark.parametrize("strategy,world", STRATEGIES)
+    def test_all_strategies_match_serial(self, strategy, world):
+        sched = cosine_with_warmup(2, 8)
+        ref = train(_spec(lr_schedule=sched), "serial", 1)
+        got = train(_spec(lr_schedule=sched), strategy, world)
+        np.testing.assert_allclose(got.losses, ref.losses, rtol=1e-8)
+        for a, b in zip(got.chunks, ref.chunks):
+            assert a.max_abs_diff(b) < 1e-8
+
+
+class TestClippedTraining:
+    def test_clipping_changes_trajectory(self):
+        # a tight threshold that certainly fires
+        plain = train(_spec(), "serial", 1)
+        clipped = train(_spec(clip_norm=0.05), "serial", 1)
+        assert not np.allclose(plain.losses[1:], clipped.losses[1:])
+
+    @pytest.mark.parametrize("strategy,world", STRATEGIES)
+    def test_all_strategies_match_serial(self, strategy, world):
+        ref = train(_spec(clip_norm=0.05), "serial", 1)
+        got = train(_spec(clip_norm=0.05), strategy, world)
+        np.testing.assert_allclose(got.losses, ref.losses, rtol=1e-8)
+        for a, b in zip(got.chunks, ref.chunks):
+            assert a.max_abs_diff(b) < 1e-8
+
+    def test_clip_and_schedule_together(self):
+        spec_kw = dict(clip_norm=0.05, lr_schedule=linear_warmup(3))
+        ref = train(_spec(**spec_kw), "serial", 1)
+        got = train(_spec(**spec_kw), "weipipe-interleave", 4)
+        np.testing.assert_allclose(got.losses, ref.losses, rtol=1e-8)

@@ -1,0 +1,67 @@
+"""FLOP/memory accounting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.nn import ModelConfig
+from repro.nn.accounting import (
+    layer_fwd_flops,
+    model_fwd_flops,
+    tensor_bytes,
+    training_step_flops,
+)
+
+CFG = ModelConfig(hidden=64, n_layers=4, n_heads=4, seq_len=128, vocab=100)
+
+
+class TestFlops:
+    def test_breakdown_sums_to_total(self):
+        br = layer_fwd_flops(CFG, 2)
+        assert br["total"] == pytest.approx(
+            br["attention_projections"] + br["ffn"] + br["attention_scores"]
+        )
+
+    def test_scales_linearly_in_batch(self):
+        a = layer_fwd_flops(CFG, 1)["total"]
+        b = layer_fwd_flops(CFG, 4)["total"]
+        assert b == pytest.approx(4 * a)
+
+    def test_causal_halves_scores(self):
+        full = layer_fwd_flops(CFG, 2, causal=False)
+        half = layer_fwd_flops(CFG, 2, causal=True)
+        assert half["attention_scores"] == pytest.approx(
+            full["attention_scores"] / 2
+        )
+        assert half["ffn"] == full["ffn"]
+
+    def test_model_adds_head(self):
+        per_layer = layer_fwd_flops(CFG, 2)["total"]
+        total = model_fwd_flops(CFG, 2)
+        head = 2 * 2 * CFG.seq_len * CFG.hidden * CFG.vocab
+        assert total == pytest.approx(per_layer * CFG.n_layers + head)
+
+    def test_step_more_than_forward(self):
+        assert training_step_flops(CFG, 2, False) == pytest.approx(
+            3 * model_fwd_flops(CFG, 2)
+        )
+
+
+class TestTensorBytes:
+    def test_flat_array(self):
+        assert tensor_bytes(np.zeros(10, dtype=np.float64)) == 80
+
+    def test_nested_structures(self):
+        obj = (np.zeros(4), [np.zeros(2), {"k": np.zeros(3)}])
+        assert tensor_bytes(obj) == (4 + 2 + 3) * 8
+
+    def test_views_not_double_counted(self):
+        base = np.zeros(100)
+        view = base[10:50]
+        assert tensor_bytes((base, view)) == 800
+
+    def test_aliases_not_double_counted(self):
+        a = np.zeros(10)
+        assert tensor_bytes((a, a, [a])) == 80
+
+    def test_non_arrays_ignored(self):
+        assert tensor_bytes(("hello", 3, None, {"x": 1.5})) == 0

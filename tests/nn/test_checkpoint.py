@@ -1,0 +1,87 @@
+"""Recomputation must be numerically invisible and actually drop caches."""
+
+import numpy as np
+
+from repro.nn import CheckpointedChunk, ModelConfig, init_model, rope_tables
+from repro.nn import functional as F
+
+CFG = ModelConfig(hidden=16, n_layers=2, n_heads=2, seq_len=5, vocab=11)
+RNG = np.random.default_rng(9)
+
+
+def _run(recompute: bool):
+    chunks = init_model(CFG, seed=2)
+    cos, sin = rope_tables(CFG)
+    ck = CheckpointedChunk(CFG, recompute=recompute)
+    tokens = RNG.integers(0, CFG.vocab, size=(2, CFG.seq_len))
+    targets = np.roll(tokens, -1, axis=1)
+
+    x = tokens
+    states = []
+    for i in range(CFG.n_layers):
+        x, st = ck.fwd(i, chunks[i], x, cos, sin)
+        states.append(st)
+    loss, c_loss = F.cross_entropy_fwd(x, targets)
+    dy = F.cross_entropy_bwd(1.0, c_loss)
+    grads = []
+    for i in range(CFG.n_layers - 1, -1, -1):
+        dy, g = ck.bwd(i, chunks[i], dy, states[i])
+        grads.append(g)
+    return loss, grads, states
+
+
+class TestCheckpoint:
+    def test_recompute_matches_full(self):
+        RNG_STATE = np.random.default_rng(9)
+        global RNG
+        RNG = np.random.default_rng(9)
+        loss_f, grads_f, _ = _run(False)
+        RNG = np.random.default_rng(9)
+        loss_r, grads_r, _ = _run(True)
+        assert loss_f == loss_r
+        for gf, gr in zip(grads_f, grads_r):
+            for name in gf.keys():
+                np.testing.assert_array_equal(gf[name], gr[name])
+
+    def test_recompute_state_holds_only_input(self):
+        global RNG
+        RNG = np.random.default_rng(9)
+        _, _, states = _run(True)
+        for st in states:
+            assert st[0] == "recompute"
+            # the stored payload is (tag, x, cos, sin): no layer cache tuple
+            assert len(st) == 4
+
+    def test_full_state_holds_cache(self):
+        global RNG
+        RNG = np.random.default_rng(9)
+        _, _, states = _run(False)
+        for st in states:
+            assert st[0] == "full"
+
+    def test_decoupled_bw_with_recompute(self):
+        chunks = init_model(CFG, seed=2)
+        cos, sin = rope_tables(CFG)
+        rng = np.random.default_rng(4)
+        tokens = rng.integers(0, CFG.vocab, size=(1, CFG.seq_len))
+        x = tokens
+        ck_r = CheckpointedChunk(CFG, recompute=True)
+        ck_f = CheckpointedChunk(CFG, recompute=False)
+        states_r, states_f = [], []
+        xf = x
+        for i in range(CFG.n_layers):
+            xr, sr = ck_r.fwd(i, chunks[i], x, cos, sin)
+            xf, sf = ck_f.fwd(i, chunks[i], xf, cos, sin)
+            x = xr
+            states_r.append(sr)
+            states_f.append(sf)
+        dy = rng.normal(size=x.shape)
+        for i in range(CFG.n_layers - 1, 0, -1):
+            dxr, cache_r, wc_r = ck_r.bwd_input(i, chunks[i], dy, states_r[i])
+            dxf, cache_f, wc_f = ck_f.bwd_input(i, chunks[i], dy, states_f[i])
+            np.testing.assert_array_equal(dxr, dxf)
+            gr = ck_r.bwd_weight(i, cache_r, wc_r)
+            gf = ck_f.bwd_weight(i, cache_f, wc_f)
+            for name in gf.keys():
+                np.testing.assert_array_equal(gr[name], gf[name])
+            dy = dxr

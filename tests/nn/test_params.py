@@ -1,0 +1,124 @@
+"""ParamStruct: the chunk currency every strategy trades in."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.params import ParamStruct
+
+
+def _struct(shapes, rng=None):
+    rng = rng or np.random.default_rng(0)
+    return ParamStruct(
+        {f"p{i}": rng.normal(size=s) for i, s in enumerate(shapes)}
+    )
+
+
+class TestMapping:
+    def test_insertion_order_preserved(self):
+        p = ParamStruct({"b": np.zeros(1), "a": np.zeros(2)})
+        assert p.keys() == ["b", "a"]
+
+    def test_contains_len_iter(self):
+        p = _struct([(2,), (3, 4)])
+        assert "p0" in p and "zz" not in p
+        assert len(p) == 2
+        assert list(p) == ["p0", "p1"]
+
+    def test_numel(self):
+        assert _struct([(2,), (3, 4)]).numel == 14
+
+    def test_nbytes_logical(self):
+        assert _struct([(8,)]).nbytes(2) == 16
+
+
+class TestArithmetic:
+    def test_add_scaled(self):
+        a = ParamStruct({"x": np.ones(3)})
+        b = ParamStruct({"x": np.full(3, 2.0)})
+        a.add_(b, scale=0.5)
+        np.testing.assert_array_equal(a["x"], np.full(3, 2.0))
+
+    def test_add_key_mismatch(self):
+        a = ParamStruct({"x": np.ones(3)})
+        b = ParamStruct({"y": np.ones(3)})
+        with pytest.raises(KeyError):
+            a.add_(b)
+
+    def test_zero_and_scale(self):
+        a = _struct([(4,)])
+        a.scale_(0.0)
+        np.testing.assert_array_equal(a["p0"], np.zeros(4))
+        b = _struct([(4,)])
+        b.zero_()
+        np.testing.assert_array_equal(b["p0"], np.zeros(4))
+
+    def test_clone_is_deep(self):
+        a = _struct([(3,)])
+        b = a.clone()
+        b["p0"][0] = 999.0
+        assert a["p0"][0] != 999.0
+
+
+class TestPacking:
+    def test_round_trip(self):
+        a = _struct([(2, 3), (5,), (1, 1, 4)])
+        flat = a.pack(dtype=np.float64)
+        b = a.unpack_from(flat)
+        assert a.allclose(b, rtol=0, atol=0)
+
+    def test_pack_order_is_key_order(self):
+        a = ParamStruct({"x": np.array([1.0, 2.0]), "y": np.array([3.0])})
+        np.testing.assert_array_equal(a.pack(np.float64), [1.0, 2.0, 3.0])
+
+    def test_unpack_size_mismatch(self):
+        a = _struct([(4,)])
+        with pytest.raises(ValueError):
+            a.unpack_from(np.zeros(5))
+
+    def test_empty_struct(self):
+        e = ParamStruct()
+        assert e.numel == 0
+        assert e.pack().size == 0
+
+    @given(
+        shapes=st.lists(
+            st.tuples(st.integers(1, 4), st.integers(1, 4)), min_size=1, max_size=5
+        ),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_pack_unpack_identity(self, shapes, seed):
+        a = _struct(shapes, np.random.default_rng(seed))
+        b = a.unpack_from(a.pack(np.float64))
+        assert a.max_abs_diff(b) == 0.0
+
+    @given(
+        n=st.integers(1, 30),
+        scale=st.floats(-5, 5, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_add_scale_linear(self, n, scale):
+        rng = np.random.default_rng(n)
+        a = ParamStruct({"x": rng.normal(size=n)})
+        b = ParamStruct({"x": rng.normal(size=n)})
+        expected = a["x"] + scale * b["x"]
+        a.add_(b, scale=scale)
+        np.testing.assert_allclose(a["x"], expected, rtol=1e-12)
+
+
+class TestComparison:
+    def test_allclose_structure_mismatch(self):
+        a = ParamStruct({"x": np.ones(2)})
+        b = ParamStruct({"y": np.ones(2)})
+        assert not a.allclose(b)
+
+    def test_max_abs_diff(self):
+        a = ParamStruct({"x": np.array([1.0, 2.0])})
+        b = ParamStruct({"x": np.array([1.5, 2.0])})
+        assert a.max_abs_diff(b) == 0.5
+
+    def test_max_abs_diff_mismatch_raises(self):
+        with pytest.raises(KeyError):
+            ParamStruct({"x": np.ones(1)}).max_abs_diff(ParamStruct({"y": np.ones(1)}))

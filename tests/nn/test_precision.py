@@ -1,0 +1,106 @@
+"""fp16/bf16 emulation: rounding semantics and policy plumbing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.precision import (
+    FP32,
+    FP64,
+    MIXED,
+    PrecisionPolicy,
+    bf16_round,
+    dtype_bytes,
+    fp16_round,
+    quantize,
+)
+
+
+class TestFP16:
+    def test_exact_values_pass_through(self):
+        x = np.array([0.0, 1.0, -2.5, 0.125, 65504.0])
+        np.testing.assert_array_equal(fp16_round(x), x)
+
+    def test_saturates_instead_of_inf(self):
+        x = np.array([1e6, -1e6])
+        np.testing.assert_array_equal(fp16_round(x), [65504.0, -65504.0])
+
+    def test_rounding_error_bounded(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=1000).astype(np.float32)
+        err = np.abs(fp16_round(x) - x)
+        # fp16 has 10 mantissa bits -> relative error <= 2^-11
+        assert np.all(err <= np.abs(x) * 2.0**-11 + 1e-8)
+
+
+class TestBF16:
+    def test_exact_values_pass_through(self):
+        # values whose fp32 mantissa already fits in bf16's 7 bits
+        x = np.array([0.0, 1.0, -2.0, 0.5, 2.0**100, -(2.0**-100) * 1.5],
+                     dtype=np.float32)
+        np.testing.assert_array_equal(bf16_round(x), x)
+
+    def test_wide_dynamic_range_survives(self):
+        """bf16 keeps the fp32 exponent — huge values must not saturate."""
+        x = np.array([1e38, 1e-38], dtype=np.float32)
+        out = bf16_round(x)
+        assert np.all(np.isfinite(out)) and np.all(out != 0)
+
+    def test_mantissa_truncated_to_7_bits(self):
+        x = np.float32(1.0 + 2.0**-9)  # below bf16 resolution near 1.0
+        assert bf16_round(np.array([x]))[0] == 1.0
+
+    def test_round_to_nearest_even(self):
+        # 1 + 2^-8 is exactly halfway between 1.0 and 1 + 2^-7: ties to even (1.0)
+        x = np.float32(1.0 + 2.0**-8)
+        assert bf16_round(np.array([x]))[0] == 1.0
+        # just above halfway rounds up
+        x2 = np.float32(1.0 + 2.0**-8 + 2.0**-12)
+        assert bf16_round(np.array([x2]))[0] == np.float32(1.0 + 2.0**-7)
+
+    def test_nan_preserved(self):
+        out = bf16_round(np.array([np.nan, 1.0], dtype=np.float32))
+        assert np.isnan(out[0]) and out[1] == 1.0
+
+    @given(st.floats(min_value=-1e30, max_value=1e30, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_relative_error_bound(self, v):
+        x = np.array([v], dtype=np.float32)
+        err = abs(float(bf16_round(x)[0]) - float(x[0]))
+        # half-ulp relative bound for normals, plus bf16's subnormal
+        # half-ulp (2^-134) to cover the denormal range.
+        assert err <= abs(float(x[0])) * 2.0**-8 + 2.0**-134
+
+
+class TestPolicy:
+    def test_mixed_matches_paper(self):
+        assert MIXED.activations == "fp16"
+        assert MIXED.act_grads == "bf16"
+        assert MIXED.weights == "fp16"
+        assert MIXED.weight_grads == "fp16"
+        assert MIXED.master == "fp32"
+
+    def test_bytes(self):
+        assert dtype_bytes("fp16") == 2
+        assert dtype_bytes("bf16") == 2
+        assert dtype_bytes("fp32") == 4
+        assert dtype_bytes("fp64") == 8
+        assert MIXED.weight_bytes == 2
+        assert FP32.weight_bytes == 4
+
+    def test_fp32_policy_is_identity(self):
+        x = np.random.default_rng(1).normal(size=100).astype(np.float32)
+        np.testing.assert_array_equal(FP32.q_act(x), x)
+        np.testing.assert_array_equal(FP64.q_weight(x.astype(np.float64)), x)
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError):
+            quantize(np.zeros(3), "fp8")
+        with pytest.raises(ValueError):
+            dtype_bytes("int4")
+
+    def test_policy_quantizes(self):
+        x = np.array([1.0 + 2.0**-13], dtype=np.float64)
+        assert MIXED.q_weight(x)[0] == 1.0  # below fp16 resolution
+        assert MIXED.q_act_grad(np.array([1.0 + 2.0**-9]))[0] == 1.0

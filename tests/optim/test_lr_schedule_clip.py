@@ -1,0 +1,146 @@
+"""LR schedules and gradient clipping: unit behaviour."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.params import ParamStruct
+from repro.optim import (
+    SGD,
+    Adam,
+    MasterWeightOptimizer,
+    apply_scale,
+    clip_scale,
+    constant,
+    cosine_with_warmup,
+    inverse_sqrt,
+    linear_warmup,
+    local_sumsq,
+    step_decay,
+)
+from repro.nn.precision import MIXED
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = constant()
+        assert s(0) == s(100) == 1.0
+
+    def test_linear_warmup_ramp(self):
+        s = linear_warmup(4)
+        assert s(0) == pytest.approx(0.25)
+        assert s(3) == pytest.approx(1.0)
+        assert s(10) == 1.0
+
+    def test_warmup_never_zero(self):
+        for w in (1, 2, 7):
+            assert linear_warmup(w)(0) > 0
+
+    def test_cosine_endpoints(self):
+        s = cosine_with_warmup(2, 10, min_mult=0.1)
+        assert s(1) == pytest.approx(1.0)  # end of warmup
+        assert s(2) == pytest.approx(1.0)  # cosine start
+        assert s(10) == pytest.approx(0.1)
+        assert s(100) == pytest.approx(0.1)  # clamps past total
+
+    def test_cosine_midpoint(self):
+        s = cosine_with_warmup(0 + 2, 12, min_mult=0.0)
+        assert s(7) == pytest.approx(0.5, abs=1e-9)
+
+    def test_cosine_monotone_decay(self):
+        s = cosine_with_warmup(2, 20)
+        vals = [s(i) for i in range(2, 21)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_inverse_sqrt(self):
+        s = inverse_sqrt(4)
+        assert s(3) == pytest.approx(1.0)
+        assert s(15) == pytest.approx(math.sqrt(4 / 16))
+
+    def test_step_decay(self):
+        s = step_decay(3, factor=0.5)
+        assert [s(i) for i in (0, 2, 3, 6)] == [1.0, 1.0, 0.5, 0.25]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_warmup(0)
+        with pytest.raises(ValueError):
+            cosine_with_warmup(5, 5)
+        with pytest.raises(ValueError):
+            step_decay(0)
+
+
+class TestSetLrScale:
+    def test_sgd_scale_is_idempotent(self):
+        opt = SGD(lr=0.5)
+        opt.set_lr_scale(0.1)
+        assert opt.lr == pytest.approx(0.05)
+        opt.set_lr_scale(0.1)
+        assert opt.lr == pytest.approx(0.05)  # scales base, not current
+        opt.set_lr_scale(1.0)
+        assert opt.lr == 0.5
+
+    def test_master_weight_delegates(self):
+        inner = Adam(lr=0.2)
+        opt = MasterWeightOptimizer(inner, MIXED)
+        opt.set_lr_scale(0.5)
+        assert inner.lr == pytest.approx(0.1)
+
+    def test_scheduled_sgd_step_size(self):
+        p = ParamStruct({"x": np.array([1.0])})
+        g = ParamStruct({"x": np.array([1.0])})
+        opt = SGD(lr=1.0)
+        st = opt.init_state(p)
+        opt.set_lr_scale(0.25)
+        opt.step(p, g, st)
+        assert p["x"][0] == pytest.approx(0.75)
+
+
+class TestClipping:
+    def test_sumsq(self):
+        g1 = ParamStruct({"a": np.array([3.0]), "b": np.array([4.0])})
+        assert local_sumsq([g1]) == pytest.approx(25.0)
+
+    def test_sumsq_filter(self):
+        g1 = ParamStruct({"a": np.array([3.0]), "b": np.array([4.0])})
+        assert local_sumsq([g1], count=lambda n: n == "a") == pytest.approx(9.0)
+
+    def test_no_clip_below_threshold(self):
+        assert clip_scale(4.0, max_norm=3.0) == 1.0  # norm 2 < 3
+
+    def test_clip_above_threshold(self):
+        assert clip_scale(100.0, max_norm=5.0) == pytest.approx(0.5)
+
+    def test_zero_grads_safe(self):
+        assert clip_scale(0.0, max_norm=1.0) == 1.0
+
+    def test_invalid_norm(self):
+        with pytest.raises(ValueError):
+            clip_scale(1.0, max_norm=0.0)
+
+    def test_apply_scale_in_place(self):
+        g = ParamStruct({"a": np.array([2.0, -4.0])})
+        apply_scale([g], 0.5)
+        np.testing.assert_array_equal(g["a"], [1.0, -2.0])
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=20),
+           st.floats(0.1, 10.0))
+    @settings(max_examples=100, deadline=None)
+    def test_property_clipped_norm_at_most_max(self, values, max_norm):
+        g = ParamStruct({"x": np.array(values)})
+        sumsq = local_sumsq([g])
+        apply_scale([g], clip_scale(sumsq, max_norm))
+        new_norm = math.sqrt(local_sumsq([g]))
+        assert new_norm <= max_norm * (1 + 1e-9) or new_norm == 0.0
+
+    @given(st.lists(st.floats(-1, 1), min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_property_small_grads_untouched(self, values):
+        g = ParamStruct({"x": np.array(values)})
+        before = g["x"].copy()
+        sumsq = local_sumsq([g])
+        apply_scale([g], clip_scale(sumsq, max_norm=1e6))
+        np.testing.assert_array_equal(g["x"], before)

@@ -1,0 +1,99 @@
+"""Schedule-specific behaviour of the pipeline baselines."""
+
+import pytest
+
+from repro import FP64, ModelConfig, TrainSpec, train
+from repro.parallel.pipeline import stage_chunk_range
+
+CFG = ModelConfig(hidden=16, n_layers=4, n_heads=2, seq_len=8, vocab=23)
+
+
+def _spec(n_mb=8, **kw):
+    return TrainSpec(
+        cfg=CFG, n_microbatches=n_mb, microbatch_size=2, iters=1,
+        precision=FP64, **kw
+    )
+
+
+class TestStagePartition:
+    def test_contiguous_cover(self):
+        ids = [list(stage_chunk_range(8, 4, r)) for r in range(4)]
+        assert ids == [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            stage_chunk_range(6, 4, 0)
+
+
+class TestInflightLiveness:
+    """GPipe holds all N microbatches; 1F1B holds at most P - rank."""
+
+    def test_gpipe_peak_is_n(self):
+        r = train(_spec(n_mb=8), "gpipe", 4)
+        assert r.extra["peak_inflight"][0] == 8
+
+    def test_1f1b_peak_is_depth_minus_rank(self):
+        r = train(_spec(n_mb=8), "1f1b", 4)
+        peaks = r.extra["peak_inflight"]
+        for rank in range(4):
+            assert peaks[rank] == 4 - rank
+
+    def test_1f1b_beats_gpipe_on_liveness(self):
+        g = train(_spec(n_mb=8), "gpipe", 4).extra["peak_inflight"][0]
+        f = train(_spec(n_mb=8), "1f1b", 4).extra["peak_inflight"][0]
+        assert f < g
+
+
+class TestZeroBubbleLiveness:
+    """ZB2 defers W passes ~twice as long as ZB1 — the memory price the
+    paper's Table 2 exposes."""
+
+    def test_zb2_pending_exceeds_zb1(self):
+        z1 = train(_spec(n_mb=8), "zb1", 4).extra["peak_pending_w"][0]
+        z2 = train(_spec(n_mb=8), "zb2", 4).extra["peak_pending_w"][0]
+        assert z2 > z1
+
+    def test_zb1_warmup_deeper_than_1f1b(self):
+        f = train(_spec(n_mb=8), "1f1b", 4).extra["peak_inflight"][0]
+        z = train(_spec(n_mb=8), "zb1", 4).extra["peak_inflight"][0]
+        assert z >= f
+
+
+class TestWeiPipeLiveness:
+    def test_interleave_holds_at_most_two_microbatches(self):
+        """Steady state: one forwarding + one backwarding microbatch."""
+        r = train(_spec(n_mb=16), "weipipe-interleave", 4)
+        assert max(r.extra["peak_inflight"].values()) <= 2
+
+    def test_naive_holds_one(self):
+        r = train(_spec(n_mb=8), "weipipe-naive", 4)
+        assert max(r.extra["peak_inflight"].values()) == 1
+
+
+class TestValidation:
+    def test_weipipe_layer_divisibility(self):
+        cfg = CFG.with_(n_layers=6)
+        with pytest.raises(Exception):
+            train(_spec(cfg=cfg), "weipipe-interleave", 4)
+
+    def test_weipipe_microbatch_divisibility(self):
+        with pytest.raises(ValueError):
+            train(_spec(n_mb=6), "weipipe-interleave", 4)
+
+    def test_dp_microbatch_divisibility(self):
+        with pytest.raises(ValueError):
+            train(_spec(n_mb=6), "dp", 4)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            train(_spec(), "megatron", 4)
+
+    def test_serial_requires_one_worker(self):
+        with pytest.raises(ValueError):
+            train(_spec(), "serial", 4)
+
+    def test_bad_pipeline_schedule(self):
+        from repro.parallel.pipeline import train_pipeline
+
+        with pytest.raises(Exception):
+            train_pipeline(_spec(), 4, schedule="2f2b")

@@ -1,0 +1,121 @@
+"""Sequence parallelism: block attention, equivalence, comm scaling."""
+
+import numpy as np
+import pytest
+
+from repro import FP64, AdamW, ModelConfig, TrainSpec, train
+from repro.nn.attention import (
+    attention_block_bwd,
+    attention_block_fwd,
+    attention_bwd,
+    attention_fwd,
+)
+from repro.runtime import Fabric
+
+CFG = ModelConfig(hidden=16, n_layers=3, n_heads=2, seq_len=16, vocab=29)
+RNG = np.random.default_rng(8)
+
+
+def _spec(**kw):
+    base = dict(cfg=CFG, n_microbatches=4, microbatch_size=2, iters=2, precision=FP64)
+    base.update(kw)
+    return TrainSpec(**base)
+
+
+class TestBlockAttention:
+    def _qkv(self, s=8):
+        return (
+            RNG.normal(size=(2, 2, s, 4)),
+            RNG.normal(size=(2, 2, s, 4)),
+            RNG.normal(size=(2, 2, s, 4)),
+        )
+
+    def test_blocks_reassemble_full_forward(self):
+        q, k, v = self._qkv()
+        ref, _ = attention_fwd(q, k, v)
+        for p in (1, 2, 4):
+            blk = 8 // p
+            outs = [
+                attention_block_fwd(q[:, :, r * blk : (r + 1) * blk], k, v, r * blk)[0]
+                for r in range(p)
+            ]
+            np.testing.assert_allclose(
+                np.concatenate(outs, axis=2), ref, atol=1e-13, err_msg=f"P={p}"
+            )
+
+    def test_block_grads_sum_to_full_backward(self):
+        q, k, v = self._qkv()
+        ref, cref = attention_fwd(q, k, v)
+        dout = RNG.normal(size=ref.shape)
+        dq_ref, dk_ref, dv_ref = attention_bwd(dout, cref)
+        blk = 2
+        dqs, dk_sum, dv_sum = [], 0.0, 0.0
+        for r in range(4):
+            _, c = attention_block_fwd(q[:, :, r * blk : (r + 1) * blk], k, v, r * blk)
+            dq, dk, dv = attention_block_bwd(dout[:, :, r * blk : (r + 1) * blk], c)
+            dqs.append(dq)
+            dk_sum = dk_sum + dk
+            dv_sum = dv_sum + dv
+        np.testing.assert_allclose(np.concatenate(dqs, axis=2), dq_ref, atol=1e-13)
+        np.testing.assert_allclose(dk_sum, dk_ref, atol=1e-13)
+        np.testing.assert_allclose(dv_sum, dv_ref, atol=1e-13)
+
+    def test_offset_zero_square_equals_plain(self):
+        q, k, v = self._qkv()
+        a, _ = attention_fwd(q, k, v)
+        b, _ = attention_block_fwd(q, k, v, 0)
+        np.testing.assert_allclose(a, b, atol=1e-14)
+
+    def test_invalid_offset(self):
+        q, k, v = self._qkv()
+        with pytest.raises(ValueError):
+            attention_block_fwd(q[:, :, :4], k, v, 6)  # 6+4 > 8
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("world", [2, 4])
+    def test_matches_serial(self, world):
+        ref = train(_spec(), "serial", 1)
+        got = train(_spec(), "sp", world)
+        np.testing.assert_allclose(got.losses, ref.losses, rtol=1e-10)
+        for a, b in zip(got.chunks, ref.chunks):
+            assert a.max_abs_diff(b) < 1e-10
+
+    def test_with_adamw_and_clipping(self):
+        mk = lambda: AdamW(lr=1e-2, weight_decay=0.01)
+        kw = dict(make_optimizer=mk, clip_norm=0.05)
+        ref = train(_spec(**kw), "serial", 1)
+        got = train(_spec(**kw), "sp", 4)
+        np.testing.assert_allclose(got.losses, ref.losses, rtol=1e-8)
+
+    def test_seq_divisibility(self):
+        with pytest.raises(Exception, match="seq_len"):
+            train(_spec(), "sp", 3)
+
+    def test_recompute_rejected(self):
+        with pytest.raises(ValueError, match="recomputation"):
+            train(_spec(recompute=True), "sp", 2)
+
+
+class TestCommunicationProfile:
+    def _bytes(self, strategy, seq, world=4):
+        # 4 layers so the WeiPipe ring divides evenly at world=4
+        cfg = CFG.with_(seq_len=seq, n_layers=4)
+        f = Fabric(world)
+        spec = TrainSpec(
+            cfg=cfg, n_microbatches=4, microbatch_size=2, iters=1, precision=FP64
+        )
+        train(spec, strategy, world, fabric=f)
+        return f.stats.bytes_total
+
+    def test_sp_comm_scales_with_sequence(self):
+        """Gather-based SP ships K/V (and weight grads): the K/V part
+        scales linearly with context length."""
+        short = self._bytes("sp", 16)
+        long = self._bytes("sp", 64)
+        assert long > 1.5 * short
+
+    def test_weipipe_flat_where_sp_grows(self):
+        wp_short = self._bytes("weipipe-interleave", 16)
+        wp_long = self._bytes("weipipe-interleave", 64)
+        assert wp_long < 1.01 * wp_short

@@ -1,0 +1,137 @@
+"""P2P semantics: matching, ordering, deadlock detection, abort."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    Fabric,
+    FabricAborted,
+    RecvTimeout,
+    WorkerError,
+    run_workers,
+)
+
+
+class TestBasics:
+    def test_send_recv_pair(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(4), 1, ("x",))
+                return None
+            return comm.recv(0, ("x",))
+
+        results = run_workers(2, fn)
+        np.testing.assert_array_equal(results[1], np.arange(4))
+
+    def test_fifo_order_same_tag(self):
+        def fn(comm):
+            if comm.rank == 0:
+                for i in range(10):
+                    comm.send(i, 1, ("seq",))
+                return None
+            return [comm.recv(0, ("seq",)) for _ in range(10)]
+
+        results = run_workers(2, fn)
+        assert results[1] == list(range(10))
+
+    def test_tag_matching_out_of_order(self):
+        """A recv for tag B must not consume a message with tag A."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("first", 1, ("a",))
+                comm.send("second", 1, ("b",))
+                return None
+            b = comm.recv(0, ("b",))
+            a = comm.recv(0, ("a",))
+            return (a, b)
+
+        results = run_workers(2, fn)
+        assert results[1] == ("first", "second")
+
+    def test_irecv_wait(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(np.ones(3), 1, ("w",))
+                return None
+            h = comm.irecv(0, ("w",))
+            return h.wait()
+
+        results = run_workers(2, fn)
+        np.testing.assert_array_equal(results[1], np.ones(3))
+
+    def test_ring_neighbours(self):
+        fab = Fabric(4)
+        c = fab.communicator(0)
+        assert c.right == 1 and c.left == 3
+        c3 = fab.communicator(3)
+        assert c3.right == 0 and c3.left == 2
+
+    def test_sendrecv_ring_rotation(self):
+        def fn(comm):
+            return comm.sendrecv(comm.rank, comm.right, comm.left, ("rot",))
+
+        results = run_workers(4, fn)
+        assert results == [3, 0, 1, 2]
+
+
+class TestFailureModes:
+    def test_recv_timeout_names_blocked_pair(self):
+        def fn(comm):
+            if comm.rank == 1:
+                comm.recv(0, ("never",), timeout=0.2)
+
+        with pytest.raises(WorkerError) as exc_info:
+            run_workers(2, fn, timeout=5.0)
+        assert isinstance(exc_info.value.original, RecvTimeout)
+        assert "rank 1" in str(exc_info.value)
+
+    def test_peer_exception_unblocks_recv(self):
+        def fn(comm):
+            if comm.rank == 0:
+                raise ValueError("boom")
+            comm.recv(0, ("x",), timeout=30.0)
+
+        with pytest.raises(WorkerError) as exc_info:
+            run_workers(2, fn, timeout=10.0)
+        # either the originating error or the poisoned-fabric error is fine,
+        # but the run must not hang.
+        assert isinstance(exc_info.value.original, (ValueError, FabricAborted))
+
+    def test_invalid_rank_rejected(self):
+        fab = Fabric(2)
+        with pytest.raises(ValueError):
+            fab.communicator(5)
+
+    def test_world_size_validation(self):
+        with pytest.raises(ValueError):
+            Fabric(0)
+
+
+class TestTrafficAccounting:
+    def test_bytes_counted(self):
+        fab = Fabric(2)
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(10, dtype=np.float64), 1, ("t",))
+            else:
+                comm.recv(0, ("t",))
+
+        run_workers(2, fn, fabric=fab)
+        assert fab.stats.messages == 1
+        assert fab.stats.bytes_total == 80
+        assert fab.stats.by_pair[(0, 1)] == 80
+
+    def test_logical_nbytes_override(self):
+        fab = Fabric(2)
+
+        def fn(comm):
+            if comm.rank == 0:
+                # fp16 on the wire: half the float32 physical size
+                comm.send(np.zeros(10, dtype=np.float32), 1, ("t",), nbytes=20)
+            else:
+                comm.recv(0, ("t",))
+
+        run_workers(2, fn, fabric=fab)
+        assert fab.stats.bytes_total == 20

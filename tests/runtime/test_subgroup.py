@@ -1,0 +1,108 @@
+"""Sub-communicators: remapping, isolation, collectives-on-subgroups."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import Fabric, all_gather, all_reduce, run_workers
+from repro.runtime.subgroup import SubCommunicator, split_grid
+
+
+class TestSubCommunicator:
+    def test_rank_remapping(self):
+        def fn(comm):
+            sub = SubCommunicator(comm, [1, 3], "odd") if comm.rank in (1, 3) else None
+            if sub is None:
+                return None
+            return (sub.rank, sub.world_size, sub.global_rank(0), sub.global_rank(1))
+
+        results = run_workers(4, fn)
+        assert results[1] == (0, 2, 1, 3)
+        assert results[3] == (1, 2, 1, 3)
+
+    def test_ring_neighbours_local(self):
+        def fn(comm):
+            if comm.rank in (0, 2, 3):
+                sub = SubCommunicator(comm, [0, 2, 3], "g")
+                return (sub.left, sub.right)
+            return None
+
+        results = run_workers(4, fn)
+        assert results[0] == (2, 1)  # local ring of size 3
+        assert results[3] == (1, 0)
+
+    def test_p2p_within_group(self):
+        def fn(comm):
+            if comm.rank in (1, 2):
+                sub = SubCommunicator(comm, [1, 2], "pair")
+                if sub.rank == 0:
+                    sub.send("hello", 1, ("x",))
+                    return None
+                return sub.recv(0, ("x",))
+            return None
+
+        assert run_workers(4, fn)[2] == "hello"
+
+    def test_groups_do_not_cross_match(self):
+        """Same tag in two different groups must stay separate."""
+
+        def fn(comm):
+            group = [0, 1] if comm.rank < 2 else [2, 3]
+            sub = SubCommunicator(comm, group, ("g", group[0]))
+            sub.send(f"from-{comm.rank}", sub.right, ("t",))
+            return sub.recv(sub.left, ("t",))
+
+        results = run_workers(4, fn)
+        assert results == ["from-1", "from-0", "from-3", "from-2"]
+
+    def test_collectives_on_subgroup(self):
+        def fn(comm):
+            group = [0, 1] if comm.rank < 2 else [2, 3]
+            sub = SubCommunicator(comm, group, ("g", group[0]))
+            reduced = all_reduce(sub, np.array([float(comm.rank)]))
+            gathered = all_gather(sub, comm.rank)
+            return (reduced[0], gathered)
+
+        results = run_workers(4, fn)
+        assert results[0] == (1.0, [0, 1])
+        assert results[3] == (5.0, [2, 3])
+
+    def test_membership_validation(self):
+        fab = Fabric(4)
+        comm = fab.communicator(0)
+        with pytest.raises(ValueError, match="not a member"):
+            SubCommunicator(comm, [1, 2], "g")
+        with pytest.raises(ValueError, match="duplicate"):
+            SubCommunicator(comm, [0, 0], "g")
+        with pytest.raises(ValueError, match="out of range"):
+            SubCommunicator(comm, [0, 9], "g")
+
+
+class TestSplitGrid:
+    def test_grid_coordinates(self):
+        def fn(comm):
+            row_comm, col_comm, row, col = split_grid(comm, 2, 3)
+            return (row, col, row_comm.world_size, col_comm.world_size,
+                    row_comm.rank, col_comm.rank)
+
+        results = run_workers(6, fn)
+        assert results[0] == (0, 0, 3, 2, 0, 0)
+        assert results[4] == (1, 1, 3, 2, 1, 1)
+        assert results[5] == (1, 2, 3, 2, 2, 1)
+
+    def test_bad_tiling(self):
+        def fn(comm):
+            split_grid(comm, 2, 3)
+
+        with pytest.raises(Exception):
+            run_workers(4, fn)
+
+    def test_row_reduce_col_reduce(self):
+        """Reduce along rows then columns touches everyone exactly once."""
+
+        def fn(comm):
+            row_comm, col_comm, _, _ = split_grid(comm, 2, 2)
+            row_sum = all_reduce(row_comm, np.array([1.0]))[0]
+            col_sum = all_reduce(col_comm, np.array([row_sum]))[0]
+            return col_sum
+
+        assert run_workers(4, fn) == [4.0] * 4

@@ -1,0 +1,158 @@
+"""Discrete-event engine semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import TaskGraph, simulate
+
+
+def test_serial_chain():
+    g = TaskGraph()
+    g.add("a", ("compute", 0), 1.0)
+    g.add("b", ("compute", 0), 2.0, deps=("a",))
+    g.add("c", ("compute", 0), 3.0, deps=("b",))
+    r = simulate(g)
+    assert r.makespan == 6.0
+    assert r.start["b"] == 1.0 and r.finish["c"] == 6.0
+
+
+def test_parallel_resources():
+    g = TaskGraph()
+    g.add("a", ("compute", 0), 5.0)
+    g.add("b", ("compute", 1), 3.0)
+    r = simulate(g)
+    assert r.makespan == 5.0
+    assert r.start["b"] == 0.0
+
+
+def test_resource_serialises():
+    g = TaskGraph()
+    g.add("a", ("compute", 0), 5.0)
+    g.add("b", ("compute", 0), 3.0)
+    r = simulate(g)
+    assert r.makespan == 8.0
+
+
+def test_priority_order_on_shared_resource():
+    """Two ready tasks: the earlier-submitted one runs first."""
+    g = TaskGraph()
+    g.add("first", ("r",), 1.0)
+    g.add("second", ("r",), 1.0)
+    r = simulate(g)
+    assert r.start["first"] == 0.0
+    assert r.start["second"] == 1.0
+
+
+def test_late_high_priority_waits_its_turn():
+    """A task whose deps complete while the resource is busy starts when
+    the resource frees, not before."""
+    g = TaskGraph()
+    g.add("blocker", ("r",), 10.0)
+    g.add("gate", ("other",), 1.0)
+    g.add("late", ("r",), 1.0, deps=("gate",))
+    r = simulate(g)
+    assert r.start["late"] == 10.0
+
+
+def test_dep_and_resource_both_bind():
+    g = TaskGraph()
+    g.add("a", ("x",), 4.0)
+    g.add("b", ("y",), 1.0)
+    g.add("c", ("y",), 1.0, deps=("a",))  # ready at 4, resource free at 1
+    r = simulate(g)
+    assert r.start["c"] == 4.0
+
+
+def test_comm_overlaps_compute():
+    """Link and compute are distinct resources: full overlap."""
+    g = TaskGraph()
+    g.add("compute", ("compute", 0), 10.0)
+    g.add("comm", ("link", 0, 1), 10.0)
+    r = simulate(g)
+    assert r.makespan == 10.0
+
+
+def test_zero_duration_tasks():
+    g = TaskGraph()
+    g.add("a", ("r",), 0.0)
+    g.add("b", ("r",), 0.0, deps=("a",))
+    r = simulate(g)
+    assert r.makespan == 0.0
+
+
+def test_cycle_detected():
+    g = TaskGraph()
+    g.add("a", ("r",), 1.0, deps=("b",))
+    g.add("b", ("r",), 1.0, deps=("a",))
+    with pytest.raises(ValueError, match="cycle"):
+        simulate(g)
+
+
+def test_unknown_dep_rejected():
+    g = TaskGraph()
+    g.add("a", ("r",), 1.0, deps=("ghost",))
+    with pytest.raises(ValueError, match="unknown"):
+        simulate(g)
+
+
+def test_duplicate_id_rejected():
+    g = TaskGraph()
+    g.add("a", ("r",), 1.0)
+    with pytest.raises(ValueError, match="duplicate"):
+        g.add("a", ("r",), 2.0)
+
+
+def test_negative_duration_rejected():
+    g = TaskGraph()
+    with pytest.raises(ValueError):
+        g.add("a", ("r",), -1.0)
+
+
+def test_busy_accounting():
+    g = TaskGraph()
+    g.add("a", ("r",), 2.0)
+    g.add("b", ("r",), 3.0)
+    r = simulate(g)
+    assert r.busy[("r",)] == 5.0
+    assert r.resource_utilisation(("r",)) == 1.0
+
+
+def test_tasks_with_filter():
+    g = TaskGraph()
+    g.add("a", ("r",), 1.0, kind="F", worker=0)
+    g.add("b", ("r",), 1.0, kind="B", worker=0)
+    r = simulate(g)
+    assert len(r.tasks_with(kind="F")) == 1
+
+
+@given(
+    durations=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=12),
+    n_resources=st.integers(1, 3),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_chain_makespan(durations, n_resources):
+    """A linear dependency chain's makespan is the sum of durations,
+    regardless of resource placement."""
+    g = TaskGraph()
+    prev = None
+    for i, d in enumerate(durations):
+        g.add(i, ("r", i % n_resources), d, deps=(prev,) if prev is not None else ())
+        prev = i
+    r = simulate(g)
+    assert r.makespan == pytest.approx(sum(durations))
+
+
+@given(st.lists(st.floats(0.1, 5.0), min_size=1, max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_property_independent_tasks_single_resource(durations):
+    """Independent tasks on one serial resource: makespan = sum, and no
+    two tasks overlap."""
+    g = TaskGraph()
+    for i, d in enumerate(durations):
+        g.add(i, ("r",), d)
+    r = simulate(g)
+    assert r.makespan == pytest.approx(sum(durations))
+    spans = sorted((r.start[i], r.finish[i]) for i in range(len(durations)))
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert s2 >= e1 - 1e-12

@@ -1,0 +1,124 @@
+"""Analytic memory model: Table 2's memory column and OOM pattern."""
+
+import pytest
+
+from repro.experiments.configs import exec_for, make_dims, table2_cluster
+from repro.sim import WorkloadDims, peak_memory, peak_memory_per_worker
+from repro.sim.costmodel import ExecConfig
+from repro.sim.hardware import nvlink_cluster
+
+CLUSTER = table2_cluster()
+GB = 2**30
+
+
+def cell_memory(strategy, h, s, g):
+    dims = make_dims(h, s, g, CLUSTER.world_size, 32, strategy)
+    return peak_memory(strategy, dims, CLUSTER, exec_for(strategy)) / GB
+
+
+class TestTable2MemoryColumn:
+    """Within ~35% of every measured non-OOM GB in Table 2, and exact
+    reproduction of the OOM pattern."""
+
+    PAPER = {
+        # (H, S, G): strategy -> GB, None = OOM (paper Table 2)
+        (1024, 4096, 16): {"1f1b": 13.0, "zb1": 20.4, "zb2": 39.3, "fsdp": 8.6, "weipipe-interleave": 9.4},
+        (1024, 8192, 8): {"1f1b": 9.9, "zb1": 10.7, "zb2": 20.5, "fsdp": 8.6, "weipipe-interleave": 9.4},
+        (1024, 16384, 4): {"1f1b": 9.1, "zb1": 21.6, "zb2": 42.2, "fsdp": 8.6, "weipipe-interleave": 9.4},
+        (2048, 4096, 16): {"1f1b": 18.7, "zb1": 44.3, "zb2": None, "fsdp": 17.9, "weipipe-interleave": 19.9},
+        (4096, 4096, 16): {"1f1b": 40.5, "zb1": None, "zb2": None, "fsdp": 39.0, "weipipe-interleave": 44.5},
+        (4096, 16384, 4): {"1f1b": 45.1, "zb1": None, "zb2": None, "fsdp": 39.0, "weipipe-interleave": 44.5},
+    }
+
+    @pytest.mark.parametrize("row", sorted(PAPER))
+    def test_non_oom_cells_close(self, row):
+        for strat, paper_gb in self.PAPER[row].items():
+            mine = cell_memory(strat, *row)
+            if paper_gb is None:
+                assert mine > 80, f"{strat} {row}: expected OOM, got {mine:.1f} GB"
+            else:
+                assert mine == pytest.approx(paper_gb, rel=0.40), f"{strat} {row}"
+
+    def test_zb2_zigzag(self):
+        """ZB memory zigzags with the forced G (4 at S=4096, 1 above) —
+        the paper's surprising pattern."""
+        a = cell_memory("zb1", 1024, 4096, 16)
+        b = cell_memory("zb1", 1024, 8192, 8)
+        c = cell_memory("zb1", 1024, 16384, 4)
+        assert a > b < c
+
+
+class TestOrderings:
+    DIMS = WorkloadDims(
+        hidden=2048, n_layers=32, seq_len=8192, microbatch=8, n_microbatches=128
+    )
+
+    def test_zb2_above_zb1_above_1f1b(self):
+        norec = ExecConfig(recompute=False)
+        rec = ExecConfig(recompute=True)
+        z1 = peak_memory("zb1", self.DIMS, CLUSTER, norec)
+        z2 = peak_memory("zb2", self.DIMS, CLUSTER, norec)
+        f = peak_memory("1f1b", self.DIMS, CLUSTER, rec)
+        assert f < z1 < z2
+
+    def test_gpipe_above_1f1b(self):
+        cfg = ExecConfig(recompute=True)
+        assert peak_memory("gpipe", self.DIMS, CLUSTER, cfg) > peak_memory(
+            "1f1b", self.DIMS, CLUSTER, cfg
+        )
+
+    def test_recompute_reduces_pipeline_memory(self):
+        on = peak_memory("1f1b", self.DIMS, CLUSTER, ExecConfig(recompute=True))
+        off = peak_memory("1f1b", self.DIMS, CLUSTER, ExecConfig(recompute=False))
+        assert on < off
+
+    def test_flash_attention_reduces_zb_memory(self):
+        base = ExecConfig(recompute=False, flash_attention=True)
+        noflash = ExecConfig(recompute=False, flash_attention=False)
+        assert peak_memory("zb1", self.DIMS, CLUSTER, base) < peak_memory(
+            "zb1", self.DIMS, CLUSTER, noflash
+        )
+
+    def test_dp_stores_whole_model(self):
+        """DP holds all model states; FSDP holds 1/P of them (plus the
+        same activations) — the gap is (1 - 1/P) of the 16 B/param."""
+        cfg = ExecConfig(recompute=True)
+        dp = peak_memory("dp", self.DIMS, CLUSTER, cfg)
+        fsdp = peak_memory("fsdp", self.DIMS, CLUSTER, cfg)
+        assert dp > 2 * fsdp
+        p = CLUSTER.world_size
+        states_gap = (1 - 1 / p) * self.DIMS.model_params * 16
+        assert dp - fsdp == pytest.approx(states_gap, rel=0.15)
+
+    def test_pipeline_memory_decreases_along_stages(self):
+        cfg = ExecConfig(recompute=True)
+        per = peak_memory_per_worker("1f1b", self.DIMS, CLUSTER, cfg)
+        # rank 0 holds the deepest warmup
+        assert per[0] == max(per[:-1])
+        assert per[0] > per[CLUSTER.world_size // 2]
+
+    def test_weipipe_memory_flat_across_workers(self):
+        cfg = ExecConfig(recompute=True)
+        per = peak_memory_per_worker("weipipe-interleave", self.DIMS, CLUSTER, cfg)
+        assert max(per) == pytest.approx(min(per))
+
+    def test_weipipe_independent_of_world_in_activations(self):
+        """WeiPipe's activation liveness is (P+1)/P models' worth: nearly
+        constant in P (the paper's 'balanced memory' claim)."""
+        cfg = ExecConfig(recompute=True)
+        m8 = peak_memory("weipipe-interleave", self.DIMS, nvlink_cluster(8), cfg)
+        m16 = peak_memory("weipipe-interleave", self.DIMS, nvlink_cluster(16), cfg)
+        # smaller P means more layers per slot resident, so m8 >= m16,
+        # but the bulk (activations) is flat: within 40%
+        assert m16 < m8 < 1.4 * m16
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            peak_memory("unknown", self.DIMS, CLUSTER)
+
+    def test_wzb_between_and_above(self):
+        norec = ExecConfig(recompute=False)
+        w1 = peak_memory("weipipe-wzb1", self.DIMS, CLUSTER, norec)
+        w2 = peak_memory("weipipe-wzb2", self.DIMS, CLUSTER, norec)
+        wi = peak_memory("weipipe-interleave", self.DIMS, CLUSTER, ExecConfig(recompute=True))
+        assert wi < w1 < w2

@@ -1,0 +1,104 @@
+"""CLI smoke and behaviour tests (invoked in-process via main())."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.strategy == "weipipe-interleave"
+        assert args.world == 4
+
+    def test_table_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "5"])
+
+
+class TestCommands:
+    def test_strategies(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        assert "weipipe-interleave" in out
+        assert "weipipe-wzb1" in out
+
+    def test_train_tiny(self, capsys):
+        rc = main([
+            "train", "--iters", "2", "--world", "2", "--hidden", "16",
+            "--layers", "2", "--heads", "2", "--seq", "8", "--vocab", "17",
+            "--microbatches", "4", "--strategy", "1f1b",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "iter    1" in out
+
+    def test_train_markov_with_clip(self, capsys):
+        rc = main([
+            "train", "--iters", "2", "--world", "2", "--hidden", "16",
+            "--layers", "2", "--heads", "2", "--seq", "8", "--vocab", "17",
+            "--microbatches", "4", "--data", "markov", "--clip-norm", "1.0",
+        ])
+        assert rc == 0
+
+    def test_simulate(self, capsys):
+        rc = main([
+            "simulate", "--strategy", "weipipe-interleave", "--world", "8",
+            "--hidden", "1024", "--layers", "8", "--seq", "4096",
+            "--microbatch", "4", "--microbatches", "16",
+            "--cluster", "single-node",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tokens/s/GPU" in out
+
+    def test_simulate_oom_exit_code(self, capsys):
+        rc = main([
+            "simulate", "--strategy", "zb2", "--world", "16",
+            "--hidden", "4096", "--layers", "32", "--seq", "16384",
+            "--microbatch", "4", "--microbatches", "32",
+        ])
+        assert rc == 1
+        assert "OOM" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "schedule", ["weipipe-interleave", "weipipe-naive", "wzb2", "1f1b", "zb1"]
+    )
+    def test_timeline(self, schedule, capsys):
+        rc = main(["timeline", schedule, "--width", "40", "--microbatches", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "worker  0" in out
+
+    def test_figure(self, capsys):
+        rc = main(["figure", "6"])
+        assert rc == 0
+        assert "weak scaling" in capsys.readouterr().out
+
+
+class TestHybridCLI:
+    def test_train_with_dp(self, capsys):
+        rc = main([
+            "train", "--world", "4", "--dp", "2", "--iters", "2",
+            "--hidden", "16", "--layers", "2", "--heads", "2",
+            "--seq", "8", "--vocab", "17", "--microbatches", "4",
+        ])
+        assert rc == 0
+        assert "dp=2" in capsys.readouterr().out
+
+    def test_dp_requires_weipipe(self):
+        with pytest.raises(SystemExit):
+            main([
+                "train", "--world", "4", "--dp", "2", "--strategy", "1f1b",
+                "--iters", "1", "--hidden", "16", "--layers", "2",
+                "--heads", "2", "--seq", "8", "--vocab", "17",
+                "--microbatches", "4",
+            ])

@@ -1,0 +1,122 @@
+"""Synthetic corpora: determinism, distributional properties, yardsticks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FP64, Adam, ModelConfig, TrainSpec, train
+from repro.data import MarkovCorpus, UniformCorpus
+
+
+class TestUniformCorpus:
+    def test_deterministic(self):
+        c = UniformCorpus(vocab=17, seed=3)
+        a = c.microbatch(0, 1, 2, 8)
+        b = c.microbatch(0, 1, 2, 8)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_targets_are_shifted_tokens(self):
+        c = UniformCorpus(vocab=17)
+        tokens, targets = c.microbatch(0, 0, 2, 8)
+        np.testing.assert_array_equal(tokens[:, 1:], targets[:, :-1])
+
+    def test_entropy_rate(self):
+        assert UniformCorpus(vocab=32).entropy_rate() == pytest.approx(np.log(32))
+
+
+class TestMarkovCorpus:
+    def test_rows_are_distributions(self):
+        c = MarkovCorpus(vocab=20, branching=3)
+        np.testing.assert_allclose(c.transition.sum(axis=1), np.ones(20))
+        assert (c.transition >= 0).all()
+        assert ((c.transition > 0).sum(axis=1) == 3).all()
+
+    def test_deterministic_batches(self):
+        c = MarkovCorpus(vocab=20)
+        a = c.microbatch(2, 3, 2, 16)
+        b = c.microbatch(2, 3, 2, 16)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_distinct_batches(self):
+        c = MarkovCorpus(vocab=20)
+        a = c.microbatch(0, 0, 1, 32)[0]
+        b = c.microbatch(0, 1, 1, 32)[0]
+        assert not np.array_equal(a, b)
+
+    def test_transitions_respected(self):
+        """Every consecutive pair in a sample must be a legal transition."""
+        c = MarkovCorpus(vocab=12, branching=2, seed=5)
+        tokens, targets = c.microbatch(0, 0, 4, 64)
+        for row_t, row_y in zip(tokens, targets):
+            stream = np.append(row_t, row_y[-1])
+            for a, b in zip(stream, stream[1:]):
+                assert c.transition[a, b] > 0, (a, b)
+
+    def test_stationary_distribution_is_fixed_point(self):
+        c = MarkovCorpus(vocab=16, branching=4)
+        pi = c.stationary_distribution()
+        np.testing.assert_allclose(pi @ c.transition, pi, atol=1e-10)
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_entropy_rate_bounds(self):
+        c = MarkovCorpus(vocab=16, branching=4)
+        h = c.entropy_rate()
+        assert 0.0 < h <= np.log(4) + 1e-12  # at most log(branching)
+
+    def test_branching_one_is_deterministic_chain(self):
+        c = MarkovCorpus(vocab=8, branching=1)
+        assert c.entropy_rate() == pytest.approx(0.0, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovCorpus(vocab=1)
+        with pytest.raises(ValueError):
+            MarkovCorpus(vocab=8, branching=9)
+
+    @given(st.integers(0, 5), st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_property_determinism(self, it, idx):
+        c = MarkovCorpus(vocab=10, seed=1)
+        a = c.microbatch(it, idx, 1, 8)
+        b = c.microbatch(it, idx, 1, 8)
+        np.testing.assert_array_equal(a[0], b[0])
+
+
+class TestTrainingOnMarkovData:
+    def test_spec_integration(self):
+        cfg = ModelConfig(hidden=16, n_layers=2, n_heads=2, seq_len=16, vocab=12)
+        corpus = MarkovCorpus(vocab=12, branching=2, seed=5)
+        spec = TrainSpec(
+            cfg=cfg, n_microbatches=4, microbatch_size=2, iters=8,
+            precision=FP64, data=corpus,
+            make_optimizer=lambda: Adam(lr=5e-3),
+        )
+        res = train(spec, "serial", 1)
+        # learnable data: loss must fall well below log(vocab) toward the
+        # chain's entropy rate
+        assert res.losses[-1] < res.losses[0] - 0.3
+        assert res.losses[0] > np.log(12) * 0.8
+
+    def test_data_source_shape_validation(self):
+        cfg = ModelConfig(hidden=16, n_layers=2, n_heads=2, seq_len=16, vocab=12)
+
+        class Bad:
+            def microbatch(self, it, idx, g, s):
+                return np.zeros((g, s - 1), dtype=int), np.zeros((g, s - 1), dtype=int)
+
+        spec = TrainSpec(cfg=cfg, n_microbatches=2, microbatch_size=1, data=Bad())
+        with pytest.raises(Exception):
+            train(spec, "serial", 1)
+
+    def test_distributed_equivalence_on_markov(self):
+        cfg = ModelConfig(hidden=16, n_layers=4, n_heads=2, seq_len=12, vocab=12)
+        corpus = MarkovCorpus(vocab=12, branching=3, seed=2)
+        spec = TrainSpec(
+            cfg=cfg, n_microbatches=8, microbatch_size=2, iters=2,
+            precision=FP64, data=corpus,
+        )
+        ref = train(spec, "serial", 1)
+        got = train(spec, "weipipe-interleave", 4)
+        np.testing.assert_allclose(got.losses, ref.losses, rtol=1e-9)
