@@ -10,12 +10,16 @@ from .nn import FP32, FP64, MIXED, ModelConfig, ParamStruct, PrecisionPolicy
 from .nn.generate import generate, perplexity
 from .optim import SGD, Adam, AdamW, MasterWeightOptimizer
 from .parallel import TrainResult, TrainSpec
+from .runtime import ChaosFabric, ChaosPolicy
+from .testing import run_differential
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Adam",
     "AdamW",
+    "ChaosFabric",
+    "ChaosPolicy",
     "FP32",
     "FP64",
     "MarkovCorpus",
@@ -32,6 +36,7 @@ __all__ = [
     "SGD",
     "TrainResult",
     "TrainSpec",
+    "run_differential",
     "strategy_names",
     "train",
     "train_weipipe",

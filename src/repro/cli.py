@@ -10,7 +10,10 @@ Commands:
   discrete-event simulator (throughput, memory, bubbles);
 * ``table`` — regenerate paper Table 2, 3 or 4;
 * ``figure`` — regenerate paper Figure 6, 7, 8 or 9;
-* ``timeline`` — render a schedule as an ASCII Gantt chart.
+* ``timeline`` — render a schedule as an ASCII Gantt chart;
+* ``chaos-sweep`` — differential equivalence sweep: every strategy vs
+  serial on a seeded chaos fabric; a failing seed is reported and
+  ``--seed-start S --seeds 1`` replays exactly that adversary.
 """
 
 from __future__ import annotations
@@ -78,6 +81,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_fig = sub.add_parser("figure", help="regenerate a paper scaling figure")
     p_fig.add_argument("which", choices=["6", "7", "8", "9"])
+
+    p_ch = sub.add_parser(
+        "chaos-sweep",
+        help="differential equivalence sweep under a seeded chaos fabric",
+    )
+    p_ch.add_argument(
+        "--seeds", type=int, default=5, help="number of chaos seeds to sweep"
+    )
+    p_ch.add_argument(
+        "--seed-start", type=int, default=0,
+        help="first chaos seed (use with --seeds 1 to replay a failure)",
+    )
+    p_ch.add_argument(
+        "--strategies", default=None,
+        help="comma-separated strategy names (default: the whole zoo)",
+    )
+    p_ch.add_argument(
+        "--world", type=int, default=4,
+        help="world size for strategies not in the default table",
+    )
+    p_ch.add_argument("--hidden", type=int, default=16)
+    p_ch.add_argument("--layers", type=int, default=4)
+    p_ch.add_argument("--heads", type=int, default=2)
+    p_ch.add_argument("--seq", type=int, default=8)
+    p_ch.add_argument("--vocab", type=int, default=29)
+    p_ch.add_argument("--iters", type=int, default=2)
+    p_ch.add_argument("--microbatches", type=int, default=4)
+    p_ch.add_argument("--microbatch-size", type=int, default=2)
+    p_ch.add_argument("--delay-prob", type=float, default=0.5)
+    p_ch.add_argument("--max-delay", type=float, default=0.001)
+    p_ch.add_argument("--drop-prob", type=float, default=0.05)
+    p_ch.add_argument("--dup-prob", type=float, default=0.05)
+    p_ch.add_argument("--retry-delay", type=float, default=0.001)
+    p_ch.add_argument(
+        "--quiet-wire", action="store_true",
+        help="disable all fault injection (control run on a clean wire)",
+    )
 
     p_tl = sub.add_parser("timeline", help="render a schedule timeline")
     p_tl.add_argument(
@@ -192,6 +232,52 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_chaos_sweep(args) -> int:
+    from . import FP64, ModelConfig, TrainSpec
+    from .runtime import ChaosPolicy
+    from .testing import DEFAULT_DIFFERENTIAL_STRATEGIES, run_differential
+
+    cfg = ModelConfig(
+        hidden=args.hidden, n_layers=args.layers, n_heads=args.heads,
+        seq_len=args.seq, vocab=args.vocab,
+    )
+    spec = TrainSpec(
+        cfg=cfg, n_microbatches=args.microbatches,
+        microbatch_size=args.microbatch_size, iters=args.iters,
+        precision=FP64,
+    )
+    if args.quiet_wire:
+        policy = ChaosPolicy.quiet()
+    else:
+        policy = ChaosPolicy(
+            delay_prob=args.delay_prob, max_delay=args.max_delay,
+            drop_prob=args.drop_prob, duplicate_prob=args.dup_prob,
+            retry_delay=args.retry_delay,
+        )
+    if args.strategies is None:
+        strategies = dict(DEFAULT_DIFFERENTIAL_STRATEGIES)
+    else:
+        strategies = {
+            name.strip(): DEFAULT_DIFFERENTIAL_STRATEGIES.get(
+                name.strip(), args.world
+            )
+            for name in args.strategies.split(",")
+            if name.strip()
+        }
+    seeds = range(args.seed_start, args.seed_start + args.seeds)
+
+    def progress(name: str, seed: int, failure: Optional[str]) -> None:
+        status = "PASS" if failure is None else f"FAIL ({failure})"
+        print(f"seed {seed:>4}  {name:<20} {status}")
+
+    report = run_differential(
+        strategies=strategies, chaos_seeds=seeds, spec=spec, policy=policy,
+        progress=progress,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_timeline(args) -> int:
     from .sim import WorkloadDims, nvlink_cluster, render_timeline
     from .sim.costmodel import ExecConfig
@@ -225,6 +311,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "table": lambda: _cmd_table(args),
         "figure": lambda: _cmd_figure(args),
         "timeline": lambda: _cmd_timeline(args),
+        "chaos-sweep": lambda: _cmd_chaos_sweep(args),
     }
     return handlers[args.command]()
 

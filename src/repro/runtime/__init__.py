@@ -6,6 +6,7 @@ per-pair traffic accounting.  See DESIGN.md §2 for the substitution
 argument.
 """
 
+from .chaos import ChaosCrash, ChaosFabric, ChaosPolicy, ChaosStats
 from .collectives import (
     all_gather,
     all_reduce,
@@ -16,10 +17,14 @@ from .collectives import (
 )
 from .communicator import Communicator, Fabric, FabricAborted, RecvTimeout
 from .launcher import WorkerError, run_workers
-from .message import Message, TrafficStats, payload_nbytes
+from .message import Message, TrafficStats, payload_nbytes, tag_kind
 from .subgroup import SubCommunicator, split_grid
 
 __all__ = [
+    "ChaosCrash",
+    "ChaosFabric",
+    "ChaosPolicy",
+    "ChaosStats",
     "Communicator",
     "Fabric",
     "FabricAborted",
@@ -37,4 +42,5 @@ __all__ = [
     "SubCommunicator",
     "split_grid",
     "split_chunks",
+    "tag_kind",
 ]

@@ -1,0 +1,282 @@
+"""Chaos engineering for the in-process fabric.
+
+The plain :class:`~repro.runtime.Fabric` delivers every message the
+instant it is posted, so the test suite only ever exercises *one* legal
+delivery order — the happy path.  Real transports (NCCL over NVLink,
+RDMA, TCP) delay, reorder across flows, duplicate at the transport
+layer and lose packets; schedule bugs of the kind zero-bubble pipelines
+are famous for hide exactly in those rare orderings.
+
+:class:`ChaosFabric` wraps the mailbox with a *seeded* adversarial
+transport:
+
+* **delay** — a message becomes visible to ``recv``/``poll`` only after
+  a per-message hold-back interval;
+* **cross-flow reordering** — because delays are independent per
+  message, messages on *different* ``(src, dst, tag)`` channels overtake
+  each other freely.  Within one channel delivery stays FIFO (enforced
+  by per-channel sequence numbers), exactly the guarantee MPI/NCCL give
+  and the strongest reordering a correct program may be exposed to;
+* **drop with retry** — the first transmission is lost and a sender-side
+  retransmission is scheduled ``retry_delay`` later (at-least-once
+  transport);
+* **duplicate delivery** — a second copy is put on the wire; the
+  receiving side discards it by sequence number (exactly-once delivery
+  built on an at-least-once wire, the way real transports do it);
+* **injected crash** — a chosen rank raises :class:`ChaosCrash` on its
+  N-th ``send``, driving the launcher's ``abort()``/poison path so peers
+  must fail fast with ``FabricAborted``.
+
+Every decision is a pure function of ``(policy.seed, src, dst, tag,
+per-channel sequence number)`` — *not* of wall-clock time or thread
+interleaving — so a failing chaos seed names a reproducible adversary
+even though the OS scheduler stays nondeterministic.  Logical traffic
+accounting (:class:`~repro.runtime.TrafficStats`) records each message
+once; retransmitted and duplicated bytes are tallied separately in
+:class:`ChaosStats` so the communication-volume tests stay meaningful
+under chaos.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import zlib
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .communicator import Fabric, FabricAborted, RecvTimeout, _now
+from .message import Message
+
+__all__ = ["ChaosPolicy", "ChaosStats", "ChaosCrash", "ChaosFabric"]
+
+
+class ChaosCrash(RuntimeError):
+    """Injected worker failure (see :attr:`ChaosPolicy.crash_rank`)."""
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Seeded fault-injection policy.
+
+    Probabilities are per *message*; delays are seconds (keep them in
+    the low-millisecond range — they bound wall-clock test time, not
+    simulated time).  ``seed`` selects the adversary: sweeping seeds
+    sweeps delivery orders.
+    """
+
+    seed: int = 0
+    #: probability a message is held back before delivery.
+    delay_prob: float = 0.5
+    #: maximum hold-back, seconds (uniform in [0, max_delay]).  1 ms is
+    #: already ~1000x the in-process message-handling latency, so it
+    #: reorders aggressively while keeping sweep wall-clock low.
+    max_delay: float = 0.001
+    #: probability the first transmission is lost (then retransmitted).
+    drop_prob: float = 0.05
+    #: extra latency of the sender-side retransmission, seconds.
+    retry_delay: float = 0.001
+    #: probability a second (to-be-discarded) copy hits the wire.
+    duplicate_prob: float = 0.05
+    #: rank whose ``send`` raises :class:`ChaosCrash` ... (None = never)
+    crash_rank: Optional[int] = None
+    #: ... on its N-th post (1-based count of messages that rank sent).
+    crash_at_post: Optional[int] = None
+
+    @classmethod
+    def quiet(cls, seed: int = 0) -> "ChaosPolicy":
+        """A policy that injects nothing (useful as a control group)."""
+        return cls(seed=seed, delay_prob=0.0, drop_prob=0.0, duplicate_prob=0.0)
+
+    def with_seed(self, seed: int) -> "ChaosPolicy":
+        return replace(self, seed=seed)
+
+    def decide(self, src: int, dst: int, tag: Tuple, seq: int) -> "_Decision":
+        """Fault decisions for one message — deterministic in its identity."""
+        key = (
+            abs(int(self.seed)),
+            src,
+            dst,
+            zlib.crc32(repr(tag).encode()),
+            seq,
+        )
+        rng = np.random.default_rng(key)
+        delay = float(rng.random() * self.max_delay) if rng.random() < self.delay_prob else 0.0
+        dropped = bool(rng.random() < self.drop_prob)
+        duplicated = bool(rng.random() < self.duplicate_prob)
+        dup_delay = delay + float(rng.random() * max(self.max_delay, 1e-4))
+        return _Decision(delay=delay, dropped=dropped, duplicated=duplicated, dup_delay=dup_delay)
+
+
+@dataclass(frozen=True)
+class _Decision:
+    delay: float
+    dropped: bool
+    duplicated: bool
+    dup_delay: float
+
+
+@dataclass
+class ChaosStats:
+    """What the adversary actually did (queried after a run)."""
+
+    posts: int = 0
+    delayed: int = 0
+    dropped: int = 0
+    retransmits: int = 0
+    duplicates: int = 0
+    duplicates_discarded: int = 0
+    crashes: int = 0
+    delivered: int = 0
+    #: physical bytes re-sent on top of the logical traffic (retries + dups).
+    extra_wire_bytes: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "posts": self.posts,
+            "delayed": self.delayed,
+            "dropped": self.dropped,
+            "retransmits": self.retransmits,
+            "duplicates": self.duplicates,
+            "duplicates_discarded": self.duplicates_discarded,
+            "crashes": self.crashes,
+            "delivered": self.delivered,
+            "extra_wire_bytes": self.extra_wire_bytes,
+        }
+
+
+class ChaosFabric(Fabric):
+    """A :class:`Fabric` whose wire misbehaves according to a seeded policy.
+
+    Drop-in everywhere a ``Fabric`` is accepted (``run_workers``,
+    ``train(..., fabric=...)``).  Semantics visible to a *correct*
+    program are unchanged: per-channel FIFO, tag matching, exactly-once
+    delivery, poison-on-abort.  Only the *timing* and cross-channel
+    interleaving of deliveries differ — which is precisely the space the
+    differential harness (:func:`repro.testing.run_differential`)
+    explores.
+    """
+
+    def __init__(
+        self,
+        world_size: int,
+        policy: Optional[ChaosPolicy] = None,
+        timeout: float = 60.0,
+    ):
+        super().__init__(world_size, timeout=timeout)
+        self.policy = policy if policy is not None else ChaosPolicy()
+        self.chaos = ChaosStats()
+        # wire state, all guarded by self._cond's lock:
+        self._limbo: List[Tuple[float, int, Tuple, int, Message]] = []  # heap
+        self._tie = itertools.count()
+        self._chan_send_seq: Dict[Tuple, int] = {}
+        self._chan_next: Dict[Tuple, int] = {}
+        self._chan_pending: Dict[Tuple, Dict[int, Message]] = {}
+        self._posts_by_rank: Dict[int, int] = {}
+
+    # -- wire ------------------------------------------------------------------
+
+    def post(self, msg: Message) -> None:
+        self._check_rank(msg.src)
+        self._check_rank(msg.dst)
+        pol = self.policy
+        with self._cond:
+            if self._aborted:
+                raise FabricAborted(self._aborted)
+            n = self._posts_by_rank.get(msg.src, 0) + 1
+            self._posts_by_rank[msg.src] = n
+            if pol.crash_rank == msg.src and pol.crash_at_post == n:
+                self.chaos.crashes += 1
+                raise ChaosCrash(
+                    f"injected crash: rank {msg.src} killed at its "
+                    f"{n}th send (tag={msg.tag})"
+                )
+            chan = (msg.src, msg.dst, msg.tag)
+            seq = self._chan_send_seq.get(chan, 0)
+            self._chan_send_seq[chan] = seq + 1
+            self.stats.record(msg)  # logical traffic: once per message
+            self.chaos.posts += 1
+
+            d = pol.decide(msg.src, msg.dst, msg.tag, seq)
+            now = _now()
+            arrival = now + d.delay
+            if d.delay > 0.0:
+                self.chaos.delayed += 1
+            if d.dropped:
+                self.chaos.dropped += 1
+                self.chaos.retransmits += 1
+                self.chaos.extra_wire_bytes += msg.nbytes
+                arrival += pol.retry_delay
+            heapq.heappush(self._limbo, (arrival, next(self._tie), chan, seq, msg))
+            if d.duplicated:
+                self.chaos.duplicates += 1
+                self.chaos.extra_wire_bytes += msg.nbytes
+                heapq.heappush(
+                    self._limbo, (now + d.dup_delay, next(self._tie), chan, seq, msg)
+                )
+            self._pump_locked()
+            self._cond.notify_all()
+
+    def _pump_locked(self) -> int:
+        """Move every due limbo message into the mailbox (caller holds lock).
+
+        Per-channel sequence numbers gate delivery: a copy whose seq was
+        already delivered is a duplicate and is discarded; a copy due
+        before its channel predecessor waits in a pending buffer so FIFO
+        per (src, dst, tag) survives arbitrary delays.
+        """
+        now = _now()
+        delivered = 0
+        while self._limbo and self._limbo[0][0] <= now:
+            _, _, chan, seq, msg = heapq.heappop(self._limbo)
+            nxt = self._chan_next.get(chan, 0)
+            pending = self._chan_pending.setdefault(chan, {})
+            if seq < nxt or seq in pending:
+                self.chaos.duplicates_discarded += 1
+                continue
+            pending[seq] = msg
+            while nxt in pending:
+                m = pending.pop(nxt)
+                self._mail[m.dst][(m.src, m.tag)].append(m)
+                nxt += 1
+                delivered += 1
+            self._chan_next[chan] = nxt
+        if delivered:
+            self.chaos.delivered += delivered
+            self._cond.notify_all()
+        return delivered
+
+    # -- delivery-aware blocking ----------------------------------------------
+
+    def take(self, dst: int, src: int, tag: Tuple, timeout: Optional[float]) -> Any:
+        limit = timeout if timeout is not None else self.timeout
+        start = _now()
+        deadline = start + limit
+        with self._cond:
+            queue = self._mail[dst][(src, tag)]
+            while True:
+                self._pump_locked()
+                if queue:
+                    return queue.popleft().payload
+                if self._aborted:
+                    raise FabricAborted(self._aborted)
+                now = _now()
+                if now >= deadline:
+                    raise RecvTimeout(
+                        f"rank {dst} timed out waiting for msg from rank "
+                        f"{src} tag={tag} after {now - start:.3f}s "
+                        f"(timeout {limit}s under chaos seed "
+                        f"{self.policy.seed}; likely a schedule deadlock)"
+                    )
+                wait_for = deadline - now
+                if self._limbo:
+                    # wake when the earliest in-flight message lands
+                    wait_for = min(wait_for, max(self._limbo[0][0] - now, 0.0) + 1e-4)
+                self._cond.wait(timeout=wait_for)
+
+    def poll(self, dst: int, src: int, tag: Tuple) -> bool:
+        with self._cond:
+            self._pump_locked()
+            return bool(self._mail[dst][(src, tag)])

@@ -23,6 +23,7 @@ different tags matching is by tag, as in MPI.
 from __future__ import annotations
 
 import threading
+import time
 from collections import defaultdict, deque
 from typing import Any, Deque, Dict, Optional, Tuple
 
@@ -73,21 +74,26 @@ class Fabric:
             self._cond.notify_all()
 
     def take(self, dst: int, src: int, tag: Tuple, timeout: Optional[float]) -> Any:
-        deadline = timeout if timeout is not None else self.timeout
+        limit = timeout if timeout is not None else self.timeout
+        start = _now()
+        deadline = start + limit
         with self._cond:
             queue = self._mail[dst][(src, tag)]
-            remaining = deadline
             while not queue:
                 if self._aborted:
                     raise FabricAborted(self._aborted)
-                start = _now()
-                if not self._cond.wait(timeout=remaining):
+                # re-derive the budget from the deadline each pass: spurious
+                # wakeups (notify_all for a different channel) must neither
+                # shrink the budget below zero nor hand Condition.wait a
+                # negative timeout.
+                remaining = deadline - _now()
+                if remaining <= 0:
                     raise RecvTimeout(
                         f"rank {dst} timed out waiting for msg from rank "
-                        f"{src} tag={tag} after {deadline}s (likely a "
-                        f"schedule deadlock)"
+                        f"{src} tag={tag} after {_now() - start:.3f}s "
+                        f"(timeout {limit}s; likely a schedule deadlock)"
                     )
-                remaining -= _now() - start
+                self._cond.wait(timeout=remaining)
             return queue.popleft().payload
 
     def poll(self, dst: int, src: int, tag: Tuple) -> bool:
@@ -105,8 +111,6 @@ class Fabric:
 
 
 def _now() -> float:
-    import time
-
     return time.monotonic()
 
 

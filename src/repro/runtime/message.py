@@ -16,7 +16,7 @@ from typing import Any, Dict, Tuple
 
 import numpy as np
 
-__all__ = ["Message", "payload_nbytes", "TrafficStats"]
+__all__ = ["Message", "payload_nbytes", "TrafficStats", "tag_kind"]
 
 
 def payload_nbytes(payload: Any) -> int:
@@ -48,6 +48,16 @@ class Message:
     nbytes: int
 
 
+def tag_kind(tag: Tuple) -> str:
+    """Logical flow a tag belongs to: its leading component as a string.
+
+    WeiPipe tags its three ring flows ``("F", it, t)`` / ``("B", ...)`` /
+    ``("D", ...)``; the kind lets tests pin per-flow byte counts (the
+    paper's 2 W + 1 D per-turn claim) without re-deriving schedules.
+    """
+    return str(tag[0]) if tag else ""
+
+
 @dataclass
 class TrafficStats:
     """Aggregated communication volume, maintained by the fabric."""
@@ -56,6 +66,10 @@ class TrafficStats:
     bytes_total: int = 0
     by_pair: Dict[Tuple[int, int], int] = field(default_factory=dict)
     by_src: Dict[int, int] = field(default_factory=dict)
+    #: bytes per logical flow (leading tag component, see :func:`tag_kind`).
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    #: message count per logical flow.
+    msgs_by_kind: Dict[str, int] = field(default_factory=dict)
 
     def record(self, msg: Message) -> None:
         self.messages += 1
@@ -63,6 +77,9 @@ class TrafficStats:
         pair = (msg.src, msg.dst)
         self.by_pair[pair] = self.by_pair.get(pair, 0) + msg.nbytes
         self.by_src[msg.src] = self.by_src.get(msg.src, 0) + msg.nbytes
+        kind = tag_kind(msg.tag)
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + msg.nbytes
+        self.msgs_by_kind[kind] = self.msgs_by_kind.get(kind, 0) + 1
 
     def max_pair_bytes(self) -> int:
         return max(self.by_pair.values(), default=0)

@@ -1,17 +1,41 @@
-"""Test utilities: finite-difference gradient checking.
+"""Test utilities: gradient checking and the differential chaos harness.
 
-Used by the test suite to validate every manual backward in
-:mod:`repro.nn` against central differences, and exported publicly so
-downstream users extending the layer zoo can check their own ops.
+Two layers of defence keep the reproduction honest:
+
+* :func:`numerical_grad` / :func:`assert_grad_close` validate every
+  manual backward in :mod:`repro.nn` against central differences;
+* :func:`run_differential` trains *the same seeded problem* under every
+  parallel strategy on a :class:`~repro.runtime.ChaosFabric` — a seeded
+  adversarial transport that delays, reorders (across channels),
+  duplicates and drops-with-retry — and asserts loss curves, final
+  weights and accumulated weight updates (the integrated weight-grads)
+  agree with the serial baseline for every chaos seed.  A strategy that
+  "passes once" on the instant fabric but depends on a lucky delivery
+  order fails here with the offending seed named, and
+  ``python -m repro chaos-sweep --seed-start S --seeds 1`` replays it.
+
+Exported publicly so downstream users extending the layer zoo or the
+strategy zoo can check their own ops and schedules.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
-__all__ = ["numerical_grad", "assert_grad_close"]
+__all__ = [
+    "numerical_grad",
+    "assert_grad_close",
+    "DifferentialFailure",
+    "DifferentialMismatch",
+    "DifferentialReport",
+    "DEFAULT_DIFFERENTIAL_STRATEGIES",
+    "compare_train_results",
+    "default_differential_spec",
+    "run_differential",
+]
 
 
 def numerical_grad(
@@ -60,3 +84,254 @@ def assert_grad_close(
             f"{name}: max abs err {err.max():.3e}, max rel err "
             f"{rel.max():.3e} (rtol={rtol}, atol={atol})"
         )
+
+
+# ---------------------------------------------------------------------------
+# differential chaos harness
+# ---------------------------------------------------------------------------
+
+#: strategy -> world size trained by default: every distributed strategy
+#: in the zoo, at the world size the equivalence suite uses (TP needs
+#: world | n_heads, hence 2 on the tiny default model).
+DEFAULT_DIFFERENTIAL_STRATEGIES: Dict[str, int] = {
+    "1f1b": 4,
+    "zb1": 4,
+    "fsdp": 4,
+    "tp": 2,
+    "sp": 4,
+    "weipipe-naive": 4,
+    "weipipe-interleave": 4,
+    "weipipe-zb": 4,
+}
+
+#: a strategy entry is either a world size (name resolved through
+#: repro.core.STRATEGIES) or (world, runner) with a custom
+#: ``runner(spec, world, fabric) -> TrainResult`` — the hook the tests
+#: use to demonstrate that intentionally broken schedules are caught.
+StrategyEntry = Union[int, Tuple[int, Callable]]
+
+
+class DifferentialMismatch(AssertionError):
+    """Raised by :meth:`DifferentialReport.raise_if_failed`."""
+
+
+@dataclass(frozen=True)
+class DifferentialFailure:
+    """One (strategy, chaos seed) cell that diverged from serial."""
+
+    strategy: str
+    world: int
+    seed: int
+    message: str
+
+    def __str__(self) -> str:
+        return (
+            f"strategy={self.strategy!r} world={self.world} "
+            f"chaos_seed={self.seed}: {self.message}\n"
+            f"  reproduce: python -m repro chaos-sweep --strategies "
+            f"{self.strategy} --seed-start {self.seed} --seeds 1"
+        )
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of one :func:`run_differential` sweep."""
+
+    strategies: Dict[str, int]
+    seeds: List[int]
+    runs: int = 0
+    failures: List[DifferentialFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        head = (
+            f"differential sweep: {len(self.strategies)} strategies x "
+            f"{len(self.seeds)} chaos seeds = {self.runs} runs, "
+            f"{len(self.failures)} failure(s)"
+        )
+        if self.ok:
+            return head + " — all strategies equivalent to serial"
+        return head + "\n" + "\n".join(str(f) for f in self.failures)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise DifferentialMismatch(self.summary())
+
+
+def default_differential_spec(**overrides):
+    """The sweep's default problem: tiny model, exact fp64 policy.
+
+    Small enough that a full 8-strategy x 20-seed sweep stays in CI
+    budget; fp64 so any divergence is a scheduling bug, never rounding.
+    """
+    from .nn.precision import FP64
+    from .nn.model import ModelConfig
+    from .parallel.common import TrainSpec
+
+    cfg = overrides.pop(
+        "cfg", ModelConfig(hidden=16, n_layers=4, n_heads=2, seq_len=8, vocab=29)
+    )
+    base = dict(
+        cfg=cfg, n_microbatches=4, microbatch_size=2, iters=2, precision=FP64
+    )
+    base.update(overrides)
+    return TrainSpec(**base)
+
+
+def _weight_deltas(spec, chunks) -> List[Dict[str, np.ndarray]]:
+    """Per-parameter accumulated update (init - final): the integral of
+    the weight gradients the optimizer consumed, used to compare
+    "weight-grads" across strategies without exporting per-step grads."""
+    init = spec.init_chunks()
+    out = []
+    for c0, c1 in zip(init, chunks):
+        out.append({name: np.asarray(c0[name]) - np.asarray(c1[name]) for name in c0.keys()})
+    return out
+
+
+def compare_train_results(
+    result,
+    ref,
+    spec=None,
+    rtol: float = 1e-9,
+    atol: float = 1e-11,
+    delta_rtol: float = 1e-6,
+    delta_atol: float = 1e-12,
+) -> Optional[str]:
+    """Compare a strategy run against the serial reference.
+
+    Checks the per-iteration loss curve, every final weight tensor and
+    (when ``spec`` is given) the accumulated weight updates.  Returns
+    ``None`` on agreement, else a human-readable description of the
+    first divergence.
+    """
+    a_l, r_l = np.asarray(result.losses), np.asarray(ref.losses)
+    if a_l.shape != r_l.shape:
+        return f"loss curve length {a_l.shape} vs serial {r_l.shape}"
+    if not np.allclose(a_l, r_l, rtol=rtol, atol=atol):
+        i = int(np.argmax(np.abs(a_l - r_l)))
+        return (
+            f"loss curve diverges at iter {i}: {a_l[i]!r} vs serial "
+            f"{r_l[i]!r} (|err|={abs(a_l[i] - r_l[i]):.3e})"
+        )
+    if len(result.chunks) != len(ref.chunks):
+        return f"{len(result.chunks)} weight chunks vs serial {len(ref.chunks)}"
+    for i, (a, b) in enumerate(zip(result.chunks, ref.chunks)):
+        if set(a.keys()) != set(b.keys()):
+            return f"chunk {i} parameter names differ"
+        for name in a.keys():
+            av, bv = np.asarray(a[name]), np.asarray(b[name])
+            if not np.allclose(av, bv, rtol=rtol, atol=atol):
+                err = np.max(np.abs(av - bv))
+                return (
+                    f"final weights diverge: chunk {i} param {name!r} "
+                    f"max |err|={err:.3e} (rtol={rtol}, atol={atol})"
+                )
+    if spec is not None:
+        for i, (da, db) in enumerate(
+            zip(_weight_deltas(spec, result.chunks), _weight_deltas(spec, ref.chunks))
+        ):
+            for name, va in da.items():
+                vb = db[name]
+                if not np.allclose(va, vb, rtol=delta_rtol, atol=delta_atol):
+                    err = np.max(np.abs(va - vb))
+                    return (
+                        f"accumulated weight updates diverge: chunk {i} "
+                        f"param {name!r} max |err|={err:.3e} "
+                        f"(rtol={delta_rtol}, atol={delta_atol})"
+                    )
+    return None
+
+
+def run_differential(
+    strategies: Optional[Mapping[str, StrategyEntry]] = None,
+    chaos_seeds: Iterable[int] = range(4),
+    spec=None,
+    policy=None,
+    fabric_factory: Optional[Callable] = None,
+    rtol: float = 1e-9,
+    atol: float = 1e-11,
+    delta_rtol: float = 1e-6,
+    delta_atol: float = 1e-12,
+    raise_on_failure: bool = False,
+    progress: Optional[Callable[[str, int, Optional[str]], None]] = None,
+) -> DifferentialReport:
+    """Train every strategy under every chaos seed; diff against serial.
+
+    Parameters
+    ----------
+    strategies:
+        ``{name: world}`` (resolved through :data:`repro.core.STRATEGIES`)
+        or ``{name: (world, runner)}`` for custom runners; defaults to
+        :data:`DEFAULT_DIFFERENTIAL_STRATEGIES`.
+    chaos_seeds:
+        The adversaries to sweep.  Each seed is threaded into a
+        :class:`~repro.runtime.ChaosPolicy`, so a failure is replayed by
+        re-running with exactly that seed.
+    policy:
+        Template :class:`~repro.runtime.ChaosPolicy` (its ``seed`` field
+        is replaced per sweep point).  ``None`` uses the default policy.
+    fabric_factory:
+        ``(world, policy) -> Fabric`` override — e.g. an intentionally
+        broken wire in the harness's own self-tests.
+    progress:
+        ``(strategy, seed, failure_or_None)`` callback per run (the CLI
+        prints live PASS/FAIL lines from it).
+
+    A worker crash or deadlock under chaos is recorded as a failure for
+    its (strategy, seed) cell rather than aborting the sweep.
+    """
+    from .core.api import STRATEGIES, train
+    from .runtime import ChaosFabric, ChaosPolicy
+
+    if strategies is None:
+        strategies = DEFAULT_DIFFERENTIAL_STRATEGIES
+    if spec is None:
+        spec = default_differential_spec()
+    if policy is None:
+        policy = ChaosPolicy()
+    if fabric_factory is None:
+        fabric_factory = lambda world, pol: ChaosFabric(world, pol)
+
+    norm: Dict[str, Tuple[int, Callable]] = {}
+    for name, entry in strategies.items():
+        if isinstance(entry, int):
+            if name not in STRATEGIES:
+                raise ValueError(f"unknown strategy {name!r}")
+            norm[name] = (entry, STRATEGIES[name])
+        else:
+            world, runner = entry
+            norm[name] = (int(world), runner)
+
+    seeds = list(chaos_seeds)
+    report = DifferentialReport(
+        strategies={n: w for n, (w, _) in norm.items()}, seeds=seeds
+    )
+    ref = train(spec, "serial", 1)
+
+    for seed in seeds:
+        pol = policy.with_seed(seed)
+        for name, (world, runner) in norm.items():
+            report.runs += 1
+            failure: Optional[str] = None
+            try:
+                result = runner(spec, world, fabric_factory(world, pol))
+                failure = compare_train_results(
+                    result, ref, spec=spec, rtol=rtol, atol=atol,
+                    delta_rtol=delta_rtol, delta_atol=delta_atol,
+                )
+            except Exception as exc:  # noqa: BLE001 - chaos legitimately crashes workers
+                first_line = (str(exc).splitlines() or [""])[0]
+                failure = f"{type(exc).__name__}: {first_line}"
+            if failure is not None:
+                report.failures.append(
+                    DifferentialFailure(name, world, seed, failure)
+                )
+            if progress is not None:
+                progress(name, seed, failure)
+    if raise_on_failure:
+        report.raise_if_failed()
+    return report

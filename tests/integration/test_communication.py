@@ -10,7 +10,7 @@ wire sizes the MIXED policy implies.
 import numpy as np
 import pytest
 
-from repro import FP64, ModelConfig, TrainSpec, train
+from repro import FP64, MIXED, ModelConfig, TrainSpec, train
 from repro.runtime import Fabric
 
 WORLD = 4
@@ -102,6 +102,66 @@ class TestRingBalance:
         }
         vals = list(ring_pairs.values())
         assert max(vals) < min(vals) * 1.2
+
+
+class TestWeiPipePerTurnVolume:
+    """Regression-lock the paper's per-turn budget for WeiPipe-Interleave:
+    every turn, the ring collectively moves exactly 3 weight-chunk-sized
+    flows — 2 W (forward + backward weight slots) + 1 D (the gradient
+    accumulator) — and nothing else rides the turn tags.
+
+    The fabric's per-flow accounting (``TrafficStats.by_kind``) makes
+    this exact: each turn, the P ranks hold the P slots between them, so
+    the collective per-turn volume of one flow is one full model at wire
+    precision.
+    """
+
+    @pytest.mark.parametrize("precision", [FP64, MIXED], ids=["fp64", "mixed"])
+    def test_turn_flows_match_two_w_plus_one_d(self, precision):
+        from repro.core.schedule import interleave_schedule
+
+        cfg = _cfg()
+        fabric = Fabric(WORLD)
+        n_mb = 8
+        spec = TrainSpec(
+            cfg=cfg, n_microbatches=n_mb, microbatch_size=2, iters=1,
+            precision=precision,
+        )
+        train(spec, "weipipe-interleave", WORLD, fabric=fabric)
+
+        total_turns, _ = interleave_schedule(WORLD, n_mb)
+        model_numel = sum(c.numel for c in spec.init_chunks())
+        w_bytes = precision.weight_bytes
+        d_bytes = precision.weight_grad_bytes
+
+        stats = fabric.stats
+        # per flow: `total_turns` collective turns x one model at wire size
+        assert stats.by_kind["F"] == total_turns * model_numel * w_bytes
+        assert stats.by_kind["B"] == total_turns * model_numel * w_bytes
+        assert stats.by_kind["D"] == total_turns * model_numel * d_bytes
+        # message counts: one slot per rank per flow per turn
+        assert stats.msgs_by_kind["F"] == total_turns * WORLD
+        assert stats.msgs_by_kind["B"] == total_turns * WORLD
+        assert stats.msgs_by_kind["D"] == total_turns * WORLD
+        # the 3-chunk claim: element volume of D equals each W flow, so a
+        # turn is exactly 3 chunk-sized messages per rank
+        assert stats.by_kind["D"] // d_bytes == stats.by_kind["F"] // w_bytes
+
+    def test_turn_flows_dominate_total_traffic(self):
+        """The inject/loss/final bookkeeping flows must stay O(model),
+        not grow with N: the three turn tags carry the bulk."""
+        cfg = _cfg()
+        fabric = Fabric(WORLD)
+        spec = TrainSpec(
+            cfg=cfg, n_microbatches=16, microbatch_size=2, iters=1,
+            precision=FP64,
+        )
+        train(spec, "weipipe-interleave", WORLD, fabric=fabric)
+        stats = fabric.stats
+        turn_bytes = stats.by_kind["F"] + stats.by_kind["B"] + stats.by_kind["D"]
+        assert turn_bytes > 0.85 * stats.bytes_total
+        # every flow the engine uses is named and accounted
+        assert set(stats.by_kind) >= {"F", "B", "D", "inject", "wp-loss", "wp-final"}
 
 
 class TestFSDPVolume:

@@ -1,0 +1,122 @@
+"""The fail-fast contract: one worker's death must poison everyone.
+
+A worker raising mid-schedule aborts the fabric; every peer blocked in
+``recv`` — or blocking *after* the abort — must fail with
+``FabricAborted`` (a loud, attributable error), never ``RecvTimeout``
+(which looks like a deadlock) and never a hang.
+"""
+
+import time
+
+import pytest
+
+from repro.runtime import (
+    Fabric,
+    FabricAborted,
+    RecvTimeout,
+    WorkerError,
+    run_workers,
+)
+
+
+class TestPoisonOnAbort:
+    def test_peers_blocked_in_recv_fail_with_aborted(self):
+        world = 4
+        outcomes = {}
+
+        def fn(comm):
+            try:
+                for t in range(8):
+                    if comm.rank == 2 and t == 3:
+                        raise ValueError("boom at turn 3")
+                    comm.send(t, comm.right, ("turn", t))
+                    comm.recv(comm.left, ("turn", t))
+            except FabricAborted:
+                outcomes[comm.rank] = "aborted"
+                raise
+            except RecvTimeout:
+                outcomes[comm.rank] = "timeout"
+                raise
+            except ValueError:
+                outcomes[comm.rank] = "boom"
+                raise
+
+        with pytest.raises(WorkerError):
+            run_workers(world, fn, timeout=10.0)
+        assert outcomes[2] == "boom"
+        assert all(outcomes.get(r) == "aborted" for r in (0, 1, 3)), outcomes
+
+    def test_peer_blocking_after_the_abort_fails_too(self):
+        """A worker that only reaches its recv *after* the fabric was
+        poisoned must still fail fast, not wait for a timeout."""
+        world = 2
+        timing = {}
+
+        def fn(comm):
+            if comm.rank == 0:
+                raise RuntimeError("early death")
+            time.sleep(0.2)  # rank 0 is long dead by now
+            start = time.monotonic()
+            try:
+                comm.recv(0, ("never",))
+            except FabricAborted:
+                timing["blocked_for"] = time.monotonic() - start
+                raise
+
+        with pytest.raises(WorkerError):
+            run_workers(world, fn, timeout=10.0)
+        assert timing["blocked_for"] < 1.0  # immediate, not timeout-driven
+
+    def test_sendrecv_full_ring_poisoned(self):
+        """The paper's steady-state pattern: every rank in sendrecv on a
+        ring.  One crash must unwind the whole ring."""
+        world = 4
+        outcomes = {}
+
+        def fn(comm):
+            try:
+                for t in range(6):
+                    if comm.rank == 0 and t == 2:
+                        raise ArithmeticError("ring breaker")
+                    comm.sendrecv(t, comm.right, comm.left, ("ring", t))
+            except FabricAborted:
+                outcomes[comm.rank] = "aborted"
+                raise
+            except RecvTimeout:
+                outcomes[comm.rank] = "timeout"
+                raise
+            except ArithmeticError:
+                outcomes[comm.rank] = "crashed"
+                raise
+
+        with pytest.raises(WorkerError) as ei:
+            run_workers(world, fn, timeout=10.0)
+        # the launcher surfaces the *original* error, with its rank
+        assert isinstance(
+            ei.value.original, (ArithmeticError, FabricAborted)
+        )
+        assert outcomes[0] == "crashed"
+        assert "timeout" not in outcomes.values()
+        assert all(outcomes.get(r) == "aborted" for r in (1, 2, 3)), outcomes
+
+    def test_post_after_abort_raises(self):
+        fab = Fabric(2)
+        fab.abort("poisoned by test")
+        comm = fab.communicator(0)
+        with pytest.raises(FabricAborted, match="poisoned"):
+            comm.send(1, 1, ("x",))
+
+    def test_error_carries_rank_and_original(self):
+        def fn(comm):
+            if comm.rank == 1:
+                raise KeyError("lost key")
+            comm.recv(1, ("unsent",))
+
+        with pytest.raises(WorkerError) as ei:
+            run_workers(2, fn, timeout=10.0)
+        err = ei.value
+        assert err.rank in (0, 1)
+        if err.rank == 1:
+            assert isinstance(err.original, KeyError)
+        else:
+            assert isinstance(err.original, FabricAborted)

@@ -84,6 +84,46 @@ class TestCommands:
         assert "weak scaling" in capsys.readouterr().out
 
 
+class TestChaosSweepCLI:
+    def test_defaults(self):
+        args = build_parser().parse_args(["chaos-sweep"])
+        assert args.seeds == 5
+        assert args.seed_start == 0
+        assert args.strategies is None
+
+    def test_sweep_passes_on_correct_strategies(self, capsys):
+        rc = main([
+            "chaos-sweep", "--seeds", "2",
+            "--strategies", "weipipe-interleave,1f1b", "--iters", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "0 failure(s)" in out
+
+    def test_replay_single_seed(self, capsys):
+        rc = main([
+            "chaos-sweep", "--seeds", "1", "--seed-start", "13",
+            "--strategies", "weipipe-zb", "--iters", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "seed   13" in out
+
+    def test_quiet_wire_control_run(self, capsys):
+        rc = main([
+            "chaos-sweep", "--seeds", "1", "--strategies", "fsdp",
+            "--iters", "1", "--quiet-wire",
+        ])
+        assert rc == 0
+
+    def test_unknown_strategy_errors(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            main([
+                "chaos-sweep", "--seeds", "1", "--strategies", "frobnicate",
+            ])
+
+
 class TestHybridCLI:
     def test_train_with_dp(self, capsys):
         rc = main([
