@@ -5,13 +5,20 @@ Top-level convenience exports; see README.md for the tour.
 
 from .core import strategy_names, train, train_weipipe, train_weipipe_dp
 from .data import MarkovCorpus, UniformCorpus
-from .io import load_checkpoint, save_checkpoint
+from .io import (
+    Checkpoint,
+    CheckpointError,
+    CorruptCheckpointError,
+    load_checkpoint,
+    load_checkpoint_state,
+    save_checkpoint,
+)
 from .nn import FP32, FP64, MIXED, ModelConfig, ParamStruct, PrecisionPolicy
 from .nn.generate import generate, perplexity
 from .optim import SGD, Adam, AdamW, MasterWeightOptimizer
-from .parallel import TrainResult, TrainSpec
-from .runtime import ChaosFabric, ChaosPolicy
-from .testing import run_differential
+from .parallel import ELASTIC_STRATEGIES, TrainResult, TrainSpec, train_elastic
+from .runtime import ChaosFabric, ChaosPolicy, PeerFailed
+from .testing import run_crash_recovery, run_differential
 
 __version__ = "1.0.0"
 
@@ -20,12 +27,18 @@ __all__ = [
     "AdamW",
     "ChaosFabric",
     "ChaosPolicy",
+    "Checkpoint",
+    "CheckpointError",
+    "CorruptCheckpointError",
+    "ELASTIC_STRATEGIES",
+    "PeerFailed",
     "FP32",
     "FP64",
     "MarkovCorpus",
     "UniformCorpus",
     "generate",
     "load_checkpoint",
+    "load_checkpoint_state",
     "perplexity",
     "save_checkpoint",
     "MIXED",
@@ -36,9 +49,11 @@ __all__ = [
     "SGD",
     "TrainResult",
     "TrainSpec",
+    "run_crash_recovery",
     "run_differential",
     "strategy_names",
     "train",
+    "train_elastic",
     "train_weipipe",
     "train_weipipe_dp",
     "__version__",

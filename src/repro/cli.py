@@ -13,7 +13,17 @@ Commands:
 * ``timeline`` — render a schedule as an ASCII Gantt chart;
 * ``chaos-sweep`` — differential equivalence sweep: every strategy vs
   serial on a seeded chaos fabric; a failing seed is reported and
-  ``--seed-start S --seeds 1`` replays exactly that adversary.
+  ``--seed-start S --seeds 1`` replays exactly that adversary;
+* ``crash-recovery`` — kill one worker mid-run with seeded chaos
+  injection, let the survivors shrink the ring and finish, and verify
+  the continuation bit-for-bit against a clean run from the rollback
+  snapshot.
+
+``train`` additionally supports durable fault-tolerant runs:
+``--checkpoint-every N`` writes atomic, checksummed checkpoints from the
+elastic driver's commit hook, and ``--resume PATH`` continues a run —
+bit-exact (weights + optimizer + data cursor) when the strategy matches
+the checkpoint, weights-only otherwise.
 """
 
 from __future__ import annotations
@@ -60,6 +70,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_train.add_argument("--recompute", action="store_true")
     p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="write a durable checkpoint every N committed iterations "
+             "(elastic strategies only; implies fault-tolerant training)",
+    )
+    p_train.add_argument(
+        "--checkpoint-path", default="checkpoint.npz",
+        help="where --checkpoint-every writes (atomic rename; the "
+             "previous checkpoint is never left half-written)",
+    )
+    p_train.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume from a checkpoint: bit-exact full-state resume when "
+             "the strategy matches the one that saved it, weights-only "
+             "(fresh optimizer) otherwise",
+    )
 
     p_sim = sub.add_parser("simulate", help="price one workload on a cluster")
     p_sim.add_argument("--strategy", default="weipipe-interleave")
@@ -119,6 +145,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable all fault injection (control run on a clean wire)",
     )
 
+    p_cr = sub.add_parser(
+        "crash-recovery",
+        help="kill a worker mid-run, recover on the shrunken ring, and "
+             "verify the continuation bit-for-bit against a clean run",
+    )
+    p_cr.add_argument("--strategy", default="weipipe-interleave")
+    p_cr.add_argument("--world", type=int, default=4)
+    p_cr.add_argument("--seed", type=int, default=0)
+    p_cr.add_argument(
+        "--crash-rank", type=int, default=None,
+        help="rank to kill (default: seeded choice)",
+    )
+    p_cr.add_argument(
+        "--crash-at-post", type=int, default=None,
+        help="kill the rank at its Nth message send (default: seeded "
+             "choice inside the active phase)",
+    )
+    p_cr.add_argument(
+        "--wire-chaos", action="store_true",
+        help="also run full wire chaos (delay/reorder/drop/duplicate)",
+    )
+    p_cr.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the differential check against a clean shrunken run",
+    )
+    p_cr.add_argument("--iters", type=int, default=None)
+
     p_tl = sub.add_parser("timeline", help="render a schedule timeline")
     p_tl.add_argument(
         "schedule",
@@ -143,8 +196,14 @@ def _cmd_strategies() -> int:
 
 
 def _cmd_train(args) -> int:
-    from . import FP32, FP64, MIXED, Adam, MasterWeightOptimizer, ModelConfig, TrainSpec, train
+    from dataclasses import replace
+
+    from . import (
+        ELASTIC_STRATEGIES, FP32, FP64, MIXED, Adam, MasterWeightOptimizer,
+        ModelConfig, TrainSpec, train, train_elastic,
+    )
     from .data import MarkovCorpus
+    from .io import load_checkpoint_state, save_checkpoint
 
     cfg = ModelConfig(
         hidden=args.hidden, n_layers=args.layers, n_heads=args.heads,
@@ -166,6 +225,59 @@ def _cmd_train(args) -> int:
         seed=args.seed, precision=precision, recompute=args.recompute,
         make_optimizer=make_opt, clip_norm=args.clip_norm, data=data,
     )
+
+    durable = args.checkpoint_every is not None or args.resume is not None
+    if durable and args.dp > 1:
+        raise SystemExit(
+            "--checkpoint-every/--resume are not supported with --dp > 1"
+        )
+    if args.checkpoint_every is not None and args.strategy not in ELASTIC_STRATEGIES:
+        raise SystemExit(
+            f"--checkpoint-every needs an elastic strategy "
+            f"({', '.join(ELASTIC_STRATEGIES)}); {args.strategy!r} is not one"
+        )
+
+    prior_losses: List[float] = []
+    if args.resume is not None:
+        ckpt = load_checkpoint_state(args.resume)
+        if ckpt.cfg != cfg:
+            raise SystemExit(
+                f"checkpoint {args.resume} was trained with config "
+                f"{ckpt.cfg}, which differs from the requested {cfg}; "
+                "pass matching model flags"
+            )
+        ts = ckpt.train_state or {}
+        if ts.get("strategy") == args.strategy and ckpt.opt_state is not None:
+            spec = replace(
+                spec,
+                initial_chunks=ckpt.chunks,
+                initial_opt_state=ckpt.opt_state,
+                start_iteration=int(ts.get("next_iteration", 0)),
+            )
+            prior_losses = list(ts.get("losses", []))
+            print(f"resuming (full state) from {args.resume} at iteration "
+                  f"{spec.start_iteration}")
+        else:
+            spec = replace(spec, initial_chunks=ckpt.chunks)
+            saved = ts.get("strategy", "<unknown>")
+            print(f"resuming weights-only from {args.resume} (saved by "
+                  f"strategy {saved!r}, requested {args.strategy!r}: "
+                  "optimizer restarts)")
+
+    def on_commit(completed: int, state, losses) -> None:
+        if completed % args.checkpoint_every != 0 and completed != spec.iters:
+            return
+        save_checkpoint(
+            args.checkpoint_path, cfg, state.chunks,
+            metadata={"seed": args.seed},
+            opt_state=state.opt_state,
+            train_state={
+                "next_iteration": spec.start_iteration + completed,
+                "strategy": args.strategy,
+                "losses": prior_losses + list(losses),
+            },
+        )
+
     if args.dp > 1:
         if args.strategy != "weipipe-interleave":
             raise SystemExit("--dp > 1 requires --strategy weipipe-interleave")
@@ -174,12 +286,19 @@ def _cmd_train(args) -> int:
         result = train_weipipe_dp(
             spec, ring_size=args.world // args.dp, dp_degree=args.dp
         )
+    elif durable and args.strategy in ELASTIC_STRATEGIES:
+        result = train_elastic(
+            spec, args.strategy, args.world,
+            on_commit=on_commit if args.checkpoint_every is not None else None,
+        )
     else:
         result = train(spec, args.strategy, args.world)
     print(f"strategy={args.strategy} world={args.world} dp={args.dp} "
           f"model={sum(c.numel for c in spec.init_chunks()):,} params")
     for i, loss in enumerate(result.losses):
-        print(f"iter {i:>4}: loss {loss:.6f}")
+        print(f"iter {spec.start_iteration + i:>4}: loss {loss:.6f}")
+    if args.checkpoint_every is not None:
+        print(f"checkpoint written to {args.checkpoint_path}")
     return 0
 
 
@@ -278,6 +397,26 @@ def _cmd_chaos_sweep(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_crash_recovery(args) -> int:
+    from .testing import default_crash_spec, run_crash_recovery
+
+    spec = None
+    if args.iters is not None:
+        spec = default_crash_spec(iters=args.iters)
+    report = run_crash_recovery(
+        spec=spec,
+        strategy=args.strategy,
+        world=args.world,
+        seed=args.seed,
+        crash_rank=args.crash_rank,
+        crash_at_post=args.crash_at_post,
+        wire_chaos=args.wire_chaos,
+        verify=not args.no_verify,
+    )
+    print(report.summary())
+    return 1 if report.verified is False else 0
+
+
 def _cmd_timeline(args) -> int:
     from .sim import WorkloadDims, nvlink_cluster, render_timeline
     from .sim.costmodel import ExecConfig
@@ -312,6 +451,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": lambda: _cmd_figure(args),
         "timeline": lambda: _cmd_timeline(args),
         "chaos-sweep": lambda: _cmd_chaos_sweep(args),
+        "crash-recovery": lambda: _cmd_crash_recovery(args),
     }
     return handlers[args.command]()
 

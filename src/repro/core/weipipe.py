@@ -26,13 +26,15 @@ up to accumulation order) — enforced by ``tests/integration``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..nn.checkpoint import CheckpointedChunk
 from ..nn import functional as F
 from ..nn.params import ParamStruct
+from ..optim.optimizer import clone_opt_state
 from ..parallel.common import TrainResult, TrainSpec, microbatch, pre_update, quantize_grads
 from ..runtime import Communicator, Fabric, all_gather, run_workers
 from .schedule import (
@@ -46,7 +48,7 @@ from .schedule import (
     zero_bubble_schedule,
 )
 
-__all__ = ["train_weipipe", "slot_chunk_ids"]
+__all__ = ["train_weipipe", "weipipe_step", "slot_chunk_ids"]
 
 SlotWeights = Dict[int, ParamStruct]  # chunk id -> weights
 
@@ -106,10 +108,20 @@ class _WeiPipeWorker:
         # optimizer state stays put for the whole training run.
         self.owned_slot = (self.rank - 1) % self.world
         self.opt = spec.make_optimizer()
-        self.opt_states = {
-            i: self.opt.init_state(chunks_all[i])
-            for i in slot_chunk_ids(self.owned_slot, self.world, self.cfg.n_layers)
-        }
+        owned_ids = slot_chunk_ids(self.owned_slot, self.world, self.cfg.n_layers)
+        if spec.initial_opt_state is not None:
+            if len(spec.initial_opt_state) != self.cfg.n_layers:
+                raise ValueError(
+                    f"initial_opt_state has {len(spec.initial_opt_state)} "
+                    f"entries, expected {self.cfg.n_layers}"
+                )
+            self.opt_states = {
+                i: clone_opt_state(spec.initial_opt_state[i]) for i in owned_ids
+            }
+        else:
+            self.opt_states = {
+                i: self.opt.init_state(chunks_all[i]) for i in owned_ids
+            }
 
         self.inflight: Dict[int, _MicrobatchState] = {}
         self.losses_by_mb: Dict[int, float] = {}
@@ -328,6 +340,47 @@ class _WeiPipeWorker:
             )
             source = slot_owner(self._initial_fwd_slot(), self.world)
             self.fwd_slot = self.comm.recv(source, ("inject", it))
+
+
+def weipipe_step(
+    comm: Communicator,
+    spec: TrainSpec,
+    iteration: int,
+    chunks: List[ParamStruct],
+    opt_states: List[Dict],
+    mode: str = "interleave",
+) -> Tuple[float, List[ParamStruct], List[Dict]]:
+    """One WeiPipe iteration from explicit full (replicated) state.
+
+    The step-boundary entry point used by elastic recovery
+    (:mod:`repro.parallel.elastic`): spin up a worker whose flows and
+    owned optimizer state are seeded from ``chunks``/``opt_states``, run
+    one ring iteration, then all-gather every owner's updated slot so
+    each rank returns the complete ``(loss, chunks, states)``.  Inputs
+    are cloned (by the worker's init path), never mutated, and chaining
+    steps is bit-identical to a persistent-worker run — the flows a
+    fresh worker builds from the updated chunks are exactly what
+    ``_update_pass`` left in circulation.
+    """
+    step_spec = replace(
+        spec,
+        iters=1,
+        start_iteration=spec.start_iteration + iteration,
+        initial_chunks=chunks,
+        initial_opt_state=opt_states,
+    )
+    w = _WeiPipeWorker(comm, step_spec, mode)
+    loss = w.run_iteration(0)
+    if w.pending_w:  # pragma: no cover - invariant
+        raise AssertionError("deferred W passes left undone at step boundary")
+    owned = {i: (w.bwd_slot[i], w.opt_states[i]) for i in w.opt_states}
+    gathered = all_gather(comm, owned, tag=("wp-state", iteration))
+    merged: Dict[int, tuple] = {}
+    for d in gathered:
+        merged.update(d)
+    new_chunks = [merged[i][0] for i in range(spec.cfg.n_layers)]
+    new_states = [merged[i][1] for i in range(spec.cfg.n_layers)]
+    return loss, new_chunks, new_states
 
 
 def _worker(comm: Communicator, spec: TrainSpec, mode: str) -> TrainResult:

@@ -17,7 +17,36 @@ import numpy as np
 
 from ..nn.params import ParamStruct
 
-__all__ = ["Optimizer", "SGD", "Adam", "AdamW"]
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "map_opt_state",
+    "clone_opt_state",
+]
+
+
+def map_opt_state(state, fn):
+    """Structurally transform every :class:`ParamStruct` leaf of an
+    optimizer state.
+
+    States are plain (possibly nested) dicts — e.g. Adam's ``{"m", "v",
+    "t"}`` or :class:`~repro.optim.mixed.MasterWeightOptimizer`'s
+    ``{"master", "inner": {...}}`` — so elastic snapshots, checkpoints
+    and FSDP re-sharding all need the same recursion: apply ``fn`` to
+    tensor leaves, keep scalars (step counters) as-is.
+    """
+    if isinstance(state, ParamStruct):
+        return fn(state)
+    if isinstance(state, dict):
+        return {k: map_opt_state(v, fn) for k, v in state.items()}
+    return state
+
+
+def clone_opt_state(state):
+    """Deep-copy an optimizer state (tensor leaves cloned, scalars kept)."""
+    return map_opt_state(state, lambda ps: ps.clone())
 
 
 class Optimizer:

@@ -2,6 +2,7 @@
 
 from .common import TrainResult, TrainSpec, microbatch
 from .data_parallel import train_data_parallel
+from .elastic import ELASTIC_STRATEGIES, ElasticState, step_engine_for, train_elastic
 from .fsdp import train_fsdp
 from .pipeline import stage_chunk_range, train_pipeline
 from .pipeline_zb import train_pipeline_zb
@@ -10,11 +11,15 @@ from .serial import train_serial
 from .tensor_parallel import train_tensor_parallel
 
 __all__ = [
+    "ELASTIC_STRATEGIES",
+    "ElasticState",
     "TrainResult",
     "TrainSpec",
     "microbatch",
     "stage_chunk_range",
+    "step_engine_for",
     "train_data_parallel",
+    "train_elastic",
     "train_fsdp",
     "train_pipeline",
     "train_pipeline_zb",

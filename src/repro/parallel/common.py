@@ -22,9 +22,15 @@ import numpy as np
 from ..nn.model import ModelConfig, init_model, rope_tables
 from ..nn.params import ParamStruct
 from ..nn.precision import FP32, PrecisionPolicy
-from ..optim.optimizer import SGD, Optimizer
+from ..optim.optimizer import SGD, Optimizer, clone_opt_state
 
-__all__ = ["TrainSpec", "TrainResult", "microbatch", "quantize_grads"]
+__all__ = [
+    "TrainSpec",
+    "TrainResult",
+    "microbatch",
+    "quantize_grads",
+    "init_opt_states",
+]
 
 
 @dataclass
@@ -59,6 +65,18 @@ class TrainSpec:
     #: optional starting weights (e.g. from repro.io.load_checkpoint);
     #: None means fresh deterministic init from ``seed``.
     initial_chunks: Optional[List[ParamStruct]] = None
+    #: optional per-chunk optimizer states to resume from (canonical
+    #: full-tensor layout, as produced by ``opt.init_state(chunk)``);
+    #: None means fresh zero state.  Strategies that shard state (FSDP)
+    #: re-shard it on entry.
+    initial_opt_state: Optional[List[Dict]] = None
+    #: global iteration this run starts at (resume offset).  Applied
+    #: centrally in :func:`microbatch` (data selection) and
+    #: :func:`pre_update` (LR schedule), so iteration ``it`` of this run
+    #: trains global iteration ``start_iteration + it`` under *every*
+    #: strategy — a checkpointed run continued for the remaining
+    #: iterations sees the same data and LR as the uninterrupted one.
+    start_iteration: int = 0
 
     def __post_init__(self):
         if self.n_microbatches < 1:
@@ -95,6 +113,7 @@ def microbatch(
     relies on instead of a shared data loader.
     """
     g, s, v = spec.microbatch_size, spec.cfg.seq_len, spec.cfg.vocab
+    iteration = spec.start_iteration + iteration  # resume offset
     if spec.data is not None:
         tokens, targets = spec.data.microbatch(iteration, index, g, s)
         if tokens.shape != (g, s) or targets.shape != (g, s):
@@ -107,6 +126,19 @@ def microbatch(
     rng = np.random.default_rng((spec.data_seed, iteration, index))
     stream = rng.integers(0, v, size=(g, s + 1))
     return stream[:, :-1], stream[:, 1:]
+
+
+def init_opt_states(spec: TrainSpec, opt: Optimizer, chunks: List[ParamStruct]) -> List[Dict]:
+    """Per-chunk optimizer states: fresh, or cloned from
+    ``spec.initial_opt_state`` (checkpoint / elastic-snapshot resume)."""
+    if spec.initial_opt_state is not None:
+        if len(spec.initial_opt_state) != len(chunks):
+            raise ValueError(
+                f"initial_opt_state has {len(spec.initial_opt_state)} "
+                f"entries, expected {len(chunks)}"
+            )
+        return [clone_opt_state(s) for s in spec.initial_opt_state]
+    return [opt.init_state(c) for c in chunks]
 
 
 def quantize_grads(grads: ParamStruct, policy: PrecisionPolicy) -> ParamStruct:
@@ -136,7 +168,7 @@ def pre_update(
     optimizer steps — so scheduled/clipped runs stay equivalent.
     """
     if spec.lr_schedule is not None:
-        opt.set_lr_scale(spec.lr_schedule(iteration))
+        opt.set_lr_scale(spec.lr_schedule(spec.start_iteration + iteration))
     if spec.clip_norm is not None:
         from ..optim.clip import apply_scale, global_clip_scale, local_sumsq
 

@@ -1,0 +1,247 @@
+"""Elastic fault-tolerant training: strategy step engines + driver.
+
+Glue between the strategy zoo and the generic ring-shrink recovery loop
+(:mod:`repro.runtime.recovery`).  Each supported strategy exposes one
+training iteration as a *step engine* — a pure function
+
+    ``(subgroup, global_step, ElasticState) -> (loss, ElasticState)``
+
+over the canonical full state (all weight chunks + all per-chunk
+optimizer states, replicated on every rank at step boundaries).  That
+granularity is what makes recovery simple and exact:
+
+* a snapshot is just the engine's input — keeping the last two committed
+  ones (see the recovery module for the skew argument) costs memory, not
+  communication;
+* after a crash, survivors roll back to an agreed snapshot and re-run
+  the *same* engine on a smaller group; because the engine is a pure
+  function of ``(state, global step)``, the post-recovery loss curve is
+  bit-identical to a from-scratch run on the shrunken world seeded from
+  that snapshot — the differential property
+  :func:`repro.testing.run_crash_recovery` asserts;
+* WeiPipe's divisibility requirements (``L % P == 0``, ``N % P == 0``)
+  survive arbitrary shrinks: each step computes on the **largest usable
+  sub-ring** of the available ranks; ranks left outside the ring idle
+  for that step and receive the committed state from the ring's first
+  rank (so they remain valid recovery donors).
+
+This trades per-step state replication for protocol simplicity — the
+honest cost of step-boundary snapshots, acceptable in the functional
+runtime where semantics, not wall-clock, are under test (DESIGN.md §9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..nn.params import ParamStruct
+from ..runtime import Fabric, SubCommunicator, run_workers_elastic
+from ..runtime.communicator import Communicator
+from ..runtime.recovery import ElasticResult, elastic_worker
+from .common import TrainResult, TrainSpec, init_opt_states
+
+__all__ = [
+    "ElasticState",
+    "ELASTIC_STRATEGIES",
+    "step_engine_for",
+    "train_elastic",
+]
+
+
+@dataclass(frozen=True)
+class ElasticState:
+    """Canonical full training state at a step boundary.
+
+    ``chunks`` are the per-layer weights and ``opt_state`` the matching
+    per-layer optimizer states in the canonical (unsharded) layout.
+    Treated as immutable: engines clone what they update, so snapshots
+    shared between ranks of the in-process fabric stay intact.
+    """
+
+    chunks: List[ParamStruct]
+    opt_state: List[Dict]
+
+
+#: strategies with a registered step engine (the fault-tolerant subset).
+ELASTIC_STRATEGIES: Tuple[str, ...] = (
+    "serial",
+    "dp",
+    "fsdp",
+    "weipipe-naive",
+    "weipipe-interleave",
+    "weipipe-zb",
+)
+
+_WEIPIPE_MODES = {
+    "weipipe-naive": "naive",
+    "weipipe-interleave": "interleave",
+    "weipipe-zb": "zero-bubble",
+}
+
+#: a strategy's core compute: one iteration on a compute subgroup.
+_ComputeFn = Callable[
+    [Communicator, int, ElasticState], Tuple[float, List[ParamStruct], List[Dict]]
+]
+
+
+def _largest_world(available: int, usable: Callable[[int], bool]) -> int:
+    for w in range(available, 0, -1):
+        if usable(w):
+            return w
+    raise AssertionError("world size 1 must always be usable")  # pragma: no cover
+
+
+def _compute_world_fn(strategy: str, spec: TrainSpec) -> Callable[[int], int]:
+    """How many of the available ranks a strategy can actually use."""
+    if strategy == "serial":
+        return lambda available: 1
+    if strategy in ("dp", "fsdp"):
+        return lambda available: _largest_world(
+            available, lambda w: spec.n_microbatches % w == 0
+        )
+    if strategy in _WEIPIPE_MODES:
+        return lambda available: _largest_world(
+            available,
+            lambda w: spec.cfg.n_layers % w == 0 and spec.n_microbatches % w == 0,
+        )
+    raise ValueError(
+        f"strategy {strategy!r} has no elastic step engine; "
+        f"choose from {list(ELASTIC_STRATEGIES)}"
+    )
+
+
+def _compute_fn(strategy: str, spec: TrainSpec) -> _ComputeFn:
+    if strategy == "serial":
+        from .serial import serial_step
+
+        return lambda csub, it, st: serial_step(spec, it, st.chunks, st.opt_state)
+    if strategy == "dp":
+        from .data_parallel import dp_step
+
+        return lambda csub, it, st: dp_step(csub, spec, it, st.chunks, st.opt_state)
+    if strategy == "fsdp":
+        from .fsdp import fsdp_step
+
+        return lambda csub, it, st: fsdp_step(csub, spec, it, st.chunks, st.opt_state)
+    if strategy in _WEIPIPE_MODES:
+        from ..core.weipipe import weipipe_step
+
+        mode = _WEIPIPE_MODES[strategy]
+        return lambda csub, it, st: weipipe_step(
+            csub, spec, it, st.chunks, st.opt_state, mode=mode
+        )
+    raise ValueError(
+        f"strategy {strategy!r} has no elastic step engine; "
+        f"choose from {list(ELASTIC_STRATEGIES)}"
+    )
+
+
+def step_engine_for(strategy: str, spec: TrainSpec):
+    """Build the ``(sub, global_step, state) -> (loss, state)`` engine.
+
+    Every surviving rank calls the engine each step.  The engine forms a
+    per-step tag namespace (so a step's traffic can never cross-match
+    another step's, even across rollbacks), shrinks to the largest
+    sub-ring the strategy's divisibility constraints allow, computes,
+    and forwards the committed ``(loss, state)`` to any idle ranks.
+    """
+    compute = _compute_fn(strategy, spec)
+    compute_world = _compute_world_fn(strategy, spec)
+
+    def run_step(
+        sub: Communicator, global_step: int, state: ElasticState
+    ) -> Tuple[float, ElasticState]:
+        available = sub.world_size
+        w = compute_world(available)
+        if sub.rank < w:
+            csub = SubCommunicator(sub, list(range(w)), ("compute", global_step))
+            loss, chunks, opt_state = compute(csub, global_step, state)
+            new_state = ElasticState(chunks=chunks, opt_state=opt_state)
+            if sub.rank == 0:
+                for r in range(w, available):
+                    sub.send((loss, new_state), r, ("elastic-idle", global_step))
+        else:
+            loss, new_state = sub.recv(0, ("elastic-idle", global_step))
+        return loss, new_state
+
+    return run_step
+
+
+def train_elastic(
+    spec: TrainSpec,
+    strategy: str = "weipipe-interleave",
+    world_size: int = 4,
+    fabric: Optional[Fabric] = None,
+    timeout: float = 120.0,
+    max_recoveries: Optional[int] = None,
+    on_commit=None,
+) -> TrainResult:
+    """Train with ring-shrink recovery: worker deaths shrink the group.
+
+    Same contract as :func:`repro.core.api.train` when nothing fails —
+    identical losses and final weights for every registered strategy —
+    plus fault tolerance: a crashing rank is detected at the survivors'
+    next fabric operation, the group rolls back to the last jointly
+    committed step snapshot and continues on ``P - 1`` ranks (then
+    ``P - 2`` on a further failure, and so on, down to 1).
+
+    ``on_commit(completed_steps, ElasticState, losses)`` fires on the
+    lowest surviving rank after each committed step — the hook the CLI
+    uses for periodic durable checkpoints.
+
+    The returned :class:`TrainResult` carries, in ``extra``:
+    ``opt_state`` (canonical final optimizer state), ``recovery_events``
+    (list of :class:`~repro.runtime.recovery.RecoveryEvent`),
+    ``rollback_states`` (the snapshots recoveries restarted from),
+    ``survivors``, ``worker_errors`` (per launch rank; ``None`` for
+    survivors) and ``next_iteration`` (resume cursor).
+    """
+    if strategy not in ELASTIC_STRATEGIES:
+        raise ValueError(
+            f"strategy {strategy!r} has no elastic step engine; "
+            f"choose from {list(ELASTIC_STRATEGIES)}"
+        )
+    engine = step_engine_for(strategy, spec)
+    chunks = spec.init_chunks()
+    opt = spec.make_optimizer()
+    initial = ElasticState(
+        chunks=chunks, opt_state=init_opt_states(spec, opt, chunks)
+    )
+
+    def worker(comm: Communicator) -> ElasticResult:
+        return elastic_worker(
+            comm,
+            iters=spec.iters,
+            initial_state=initial,
+            run_step=engine,
+            on_commit=on_commit,
+            max_recoveries=max_recoveries,
+        )
+
+    results, errors = run_workers_elastic(
+        world_size, worker, timeout=timeout, fabric=fabric
+    )
+    survivors = [r for r in range(world_size) if errors[r] is None]
+    if not survivors:
+        raise errors[0]
+    res: ElasticResult = results[survivors[0]]
+    for r in survivors[1:]:
+        other: ElasticResult = results[r]
+        if other.losses != res.losses:  # pragma: no cover - invariant
+            raise AssertionError(
+                f"survivors disagree on the loss curve: rank {survivors[0]} "
+                f"{res.losses} vs rank {r} {other.losses}"
+            )
+    return TrainResult(
+        losses=list(res.losses),
+        chunks=res.state.chunks,
+        extra={
+            "opt_state": res.state.opt_state,
+            "recovery_events": list(res.events),
+            "rollback_states": list(res.rollback_states),
+            "survivors": list(res.survivors),
+            "worker_errors": list(errors),
+            "next_iteration": spec.start_iteration + spec.iters,
+        },
+    )

@@ -15,9 +15,10 @@ from .collectives import (
     reduce_scatter,
     split_chunks,
 )
-from .communicator import Communicator, Fabric, FabricAborted, RecvTimeout
-from .launcher import WorkerError, run_workers
+from .communicator import Communicator, Fabric, FabricAborted, PeerFailed, RecvTimeout
+from .launcher import WorkerError, run_workers, run_workers_elastic
 from .message import Message, TrafficStats, payload_nbytes, tag_kind
+from .recovery import ElasticResult, RecoveryEvent, elastic_worker
 from .subgroup import SubCommunicator, split_grid
 
 __all__ = [
@@ -26,8 +27,11 @@ __all__ = [
     "ChaosPolicy",
     "ChaosStats",
     "Communicator",
+    "ElasticResult",
     "Fabric",
     "FabricAborted",
+    "PeerFailed",
+    "RecoveryEvent",
     "RecvTimeout",
     "Message",
     "TrafficStats",
@@ -36,9 +40,11 @@ __all__ = [
     "all_reduce",
     "barrier",
     "broadcast",
+    "elastic_worker",
     "payload_nbytes",
     "reduce_scatter",
     "run_workers",
+    "run_workers_elastic",
     "SubCommunicator",
     "split_grid",
     "split_chunks",

@@ -47,7 +47,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .communicator import Fabric, FabricAborted, RecvTimeout, _now
+from .communicator import Fabric, RecvTimeout, _now
 from .message import Message
 
 __all__ = ["ChaosPolicy", "ChaosStats", "ChaosCrash", "ChaosFabric"]
@@ -183,8 +183,7 @@ class ChaosFabric(Fabric):
         self._check_rank(msg.dst)
         pol = self.policy
         with self._cond:
-            if self._aborted:
-                raise FabricAborted(self._aborted)
+            self._check_disturbed(msg.src)
             n = self._posts_by_rank.get(msg.src, 0) + 1
             self._posts_by_rank[msg.src] = n
             if pol.crash_rank == msg.src and pol.crash_at_post == n:
@@ -257,11 +256,10 @@ class ChaosFabric(Fabric):
         with self._cond:
             queue = self._mail[dst][(src, tag)]
             while True:
+                self._check_disturbed(dst)
                 self._pump_locked()
                 if queue:
                     return queue.popleft().payload
-                if self._aborted:
-                    raise FabricAborted(self._aborted)
                 now = _now()
                 if now >= deadline:
                     raise RecvTimeout(

@@ -14,7 +14,13 @@ Semantics:
   available; a configurable timeout turns silent deadlocks — the classic
   pipeline-schedule bug — into loud errors naming the blocked rank,
 * aborting one worker poisons the fabric so peers blocked in ``recv``
-  fail fast instead of hanging the test suite.
+  fail fast instead of hanging the test suite,
+* alternatively a *single rank* can be declared failed
+  (:meth:`Fabric.fail_rank`) without poisoning the group: every other
+  rank is interrupted with :class:`PeerFailed` at its next fabric
+  operation, acknowledges the failure, and keeps using the fabric — the
+  detection half of elastic ring-shrink recovery
+  (:mod:`repro.runtime.recovery`).
 
 Message *order* between a fixed (src, dst, tag) triple is FIFO; across
 different tags matching is by tag, as in MPI.
@@ -29,7 +35,7 @@ from typing import Any, Deque, Dict, Optional, Tuple
 
 from .message import Message, TrafficStats, payload_nbytes
 
-__all__ = ["Fabric", "Communicator", "RecvTimeout", "FabricAborted"]
+__all__ = ["Fabric", "Communicator", "RecvTimeout", "FabricAborted", "PeerFailed"]
 
 
 class RecvTimeout(RuntimeError):
@@ -38,6 +44,29 @@ class RecvTimeout(RuntimeError):
 
 class FabricAborted(RuntimeError):
     """A peer worker raised; the fabric has been poisoned."""
+
+
+class PeerFailed(RuntimeError):
+    """One or more peer ranks failed (fail-stop); the fabric stays alive.
+
+    Raised at a survivor's next fabric operation after
+    :meth:`Fabric.fail_rank`, once per failure epoch per rank — call
+    :meth:`Communicator.acknowledge_failures` to resume using the
+    fabric.  ``failed`` maps the dead global rank to ``(reason, step)``
+    where ``step`` is the last progress that rank reported (or ``None``).
+    """
+
+    def __init__(self, failed: Dict[int, Tuple[str, Optional[int]]]):
+        self.failed = dict(failed)
+        parts = ", ".join(
+            f"rank {r} (step {s if s is not None else '?'}: {reason})"
+            for r, (reason, s) in sorted(self.failed.items())
+        )
+        super().__init__(f"peer failure detected: {parts}")
+
+    @property
+    def ranks(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.failed))
 
 
 class Fabric:
@@ -55,6 +84,13 @@ class Fabric:
             r: defaultdict(deque) for r in range(world_size)
         }
         self._aborted: Optional[str] = None
+        # fail-stop bookkeeping (elastic mode): dead rank -> (reason, step);
+        # each failure bumps the epoch, and every surviving rank raises
+        # PeerFailed once per epoch until it acknowledges.
+        self._failed: Dict[int, Tuple[str, Optional[int]]] = {}
+        self._fail_epoch = 0
+        self._ack_epoch: Dict[int, int] = {}
+        self._progress: Dict[int, int] = {}
         self.stats = TrafficStats()
 
     # -- internal ------------------------------------------------------------
@@ -63,12 +99,23 @@ class Fabric:
         if not (0 <= rank < self.world_size):
             raise ValueError(f"rank {rank} out of range 0..{self.world_size - 1}")
 
+    def _check_disturbed(self, rank: int) -> None:
+        """Raise if the fabric was poisoned or a peer failure is unacked.
+
+        Caller holds the lock.  ``rank`` never observes its *own*
+        failure, so the dead rank's pending ops don't mask the original
+        exception.
+        """
+        if self._aborted:
+            raise FabricAborted(self._aborted)
+        if self._failed and self._ack_epoch.get(rank, 0) < self._fail_epoch:
+            raise PeerFailed({r: v for r, v in self._failed.items() if r != rank})
+
     def post(self, msg: Message) -> None:
         self._check_rank(msg.src)
         self._check_rank(msg.dst)
         with self._cond:
-            if self._aborted:
-                raise FabricAborted(self._aborted)
+            self._check_disturbed(msg.src)
             self._mail[msg.dst][(msg.src, msg.tag)].append(msg)
             self.stats.record(msg)
             self._cond.notify_all()
@@ -79,9 +126,13 @@ class Fabric:
         deadline = start + limit
         with self._cond:
             queue = self._mail[dst][(src, tag)]
-            while not queue:
-                if self._aborted:
-                    raise FabricAborted(self._aborted)
+            while True:
+                # failure/abort checks come before consuming available
+                # messages so survivors are interrupted promptly even
+                # when stale pre-crash traffic is still queued.
+                self._check_disturbed(dst)
+                if queue:
+                    return queue.popleft().payload
                 # re-derive the budget from the deadline each pass: spurious
                 # wakeups (notify_all for a different channel) must neither
                 # shrink the budget below zero nor hand Condition.wait a
@@ -94,7 +145,6 @@ class Fabric:
                         f"(timeout {limit}s; likely a schedule deadlock)"
                     )
                 self._cond.wait(timeout=remaining)
-            return queue.popleft().payload
 
     def poll(self, dst: int, src: int, tag: Tuple) -> bool:
         with self._lock:
@@ -104,6 +154,48 @@ class Fabric:
         with self._cond:
             self._aborted = reason
             self._cond.notify_all()
+
+    # -- fail-stop failure detection (elastic mode) ---------------------------
+
+    def fail_rank(self, rank: int, reason: str, step: Optional[int] = None) -> None:
+        """Declare ``rank`` dead without poisoning the fabric.
+
+        Survivors observe :class:`PeerFailed` at their next fabric
+        operation (blocked receivers are woken immediately); after
+        acknowledging they may keep communicating.  ``step`` defaults to
+        the rank's last :meth:`report_progress` value.
+        """
+        self._check_rank(rank)
+        with self._cond:
+            if rank in self._failed:
+                return
+            if step is None:
+                step = self._progress.get(rank)
+            self._failed[rank] = (reason, step)
+            self._fail_epoch += 1
+            self._cond.notify_all()
+
+    def failed_ranks(self) -> Dict[int, Tuple[str, Optional[int]]]:
+        """Dead ranks so far: ``{rank: (reason, step)}``."""
+        with self._lock:
+            return dict(self._failed)
+
+    def acknowledge_failures(self, rank: int) -> None:
+        """Mark every failure so far as seen by ``rank``; its fabric
+        operations stop raising :class:`PeerFailed` until the next
+        failure epoch."""
+        with self._cond:
+            self._ack_epoch[rank] = self._fail_epoch
+
+    def report_progress(self, rank: int, step: int) -> None:
+        """Record ``rank``'s training progress (used to annotate the
+        ``step`` field of failures it may suffer later)."""
+        with self._lock:
+            self._progress[rank] = step
+
+    def progress_of(self, rank: int) -> Optional[int]:
+        with self._lock:
+            return self._progress.get(rank)
 
     def communicator(self, rank: int) -> "Communicator":
         self._check_rank(rank)
@@ -199,3 +291,17 @@ class Communicator:
         because sends are buffered)."""
         self.send(payload, dst, tag, nbytes=nbytes)
         return self.recv(src, tag)
+
+    # -- fail-stop failure detection (elastic mode) ---------------------------
+
+    def acknowledge_failures(self) -> None:
+        """Accept all peer failures observed so far and resume fabric use."""
+        self.fabric.acknowledge_failures(self.rank)
+
+    def failed_peers(self) -> Dict[int, Tuple[str, Optional[int]]]:
+        """Dead *global* ranks so far: ``{rank: (reason, step)}``."""
+        return self.fabric.failed_ranks()
+
+    def report_progress(self, step: int) -> None:
+        """Publish this rank's training progress for failure attribution."""
+        self.fabric.report_progress(self.rank, step)

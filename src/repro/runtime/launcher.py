@@ -6,6 +6,14 @@ back indexed by rank, and the first exception anywhere aborts the whole
 group (peers blocked in ``recv`` are woken with ``FabricAborted``) and
 is re-raised in the caller with its original traceback.
 
+``run_workers_elastic`` is the fault-tolerant variant: a worker's death
+marks only *that rank* failed (:meth:`Fabric.fail_rank`) so survivors —
+notified via :class:`~repro.runtime.communicator.PeerFailed` — can
+shrink the group and keep training (:mod:`repro.runtime.recovery`).
+Both variants share one launch path and one *group-wide* join deadline:
+``timeout`` bounds the whole group's wall clock, not each thread's join
+in sequence.
+
 Threads — not processes — because the workloads are NumPy-bound (GIL
 released inside BLAS) and, more importantly, because the point of the
 functional runtime is *semantics*, not wall-clock parallel speed; the
@@ -15,12 +23,13 @@ performance questions are answered by :mod:`repro.sim`.
 from __future__ import annotations
 
 import threading
+import time
 import traceback
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from .communicator import Communicator, Fabric
 
-__all__ = ["run_workers", "WorkerError"]
+__all__ = ["run_workers", "run_workers_elastic", "WorkerError"]
 
 
 class WorkerError(RuntimeError):
@@ -32,19 +41,13 @@ class WorkerError(RuntimeError):
         self.original = original
 
 
-def run_workers(
+def _launch(
     world_size: int,
     fn: Callable[[Communicator], Any],
-    timeout: float = 120.0,
-    fabric: Optional[Fabric] = None,
-) -> List[Any]:
-    """Run ``fn(comm)`` on ``world_size`` ranks; return per-rank results.
-
-    ``timeout`` bounds both individual receives (fabric timeout) and the
-    overall join, so schedule deadlocks surface as errors rather than
-    hangs.  Pass a pre-built ``fabric`` to inspect traffic stats after
-    the run.
-    """
+    timeout: float,
+    fabric: Optional[Fabric],
+    elastic: bool,
+) -> Tuple[List[Any], List[Optional[WorkerError]]]:
     fab = fabric if fabric is not None else Fabric(world_size, timeout=timeout)
     if fab.world_size != world_size:
         raise ValueError("fabric world_size does not match")
@@ -58,7 +61,12 @@ def run_workers(
             results[rank] = fn(comm)
         except BaseException as exc:  # noqa: BLE001 - must propagate everything
             errors[rank] = WorkerError(rank, exc, traceback.format_exc())
-            fab.abort(f"rank {rank} raised {exc!r}")
+            if elastic:
+                # fail-stop: only this rank dies; survivors are notified
+                # at their next fabric op and may recover.
+                fab.fail_rank(rank, f"raised {exc!r}")
+            else:
+                fab.abort(f"rank {rank} raised {exc!r}")
 
     threads = [
         threading.Thread(target=target, args=(r,), name=f"worker-{r}", daemon=True)
@@ -66,15 +74,53 @@ def run_workers(
     ]
     for t in threads:
         t.start()
+    # one shared deadline for the whole group: joining P threads in
+    # sequence must not stretch the worst case to P x timeout.
+    deadline = time.monotonic() + timeout
     for t in threads:
-        t.join(timeout=timeout)
+        t.join(timeout=max(0.0, deadline - time.monotonic()))
         if t.is_alive():
             fab.abort("join timeout")
             raise TimeoutError(
-                f"worker {t.name} did not finish within {timeout}s"
+                f"worker {t.name} did not finish within the group deadline "
+                f"({timeout}s shared across all ranks)"
             )
+    return results, errors
 
+
+def run_workers(
+    world_size: int,
+    fn: Callable[[Communicator], Any],
+    timeout: float = 120.0,
+    fabric: Optional[Fabric] = None,
+) -> List[Any]:
+    """Run ``fn(comm)`` on ``world_size`` ranks; return per-rank results.
+
+    ``timeout`` bounds both individual receives (fabric timeout) and the
+    group-wide join, so schedule deadlocks surface as errors rather than
+    hangs.  Pass a pre-built ``fabric`` to inspect traffic stats after
+    the run.  Any worker exception aborts the whole group (fail-fast).
+    """
+    results, errors = _launch(world_size, fn, timeout, fabric, elastic=False)
     for err in errors:
         if err is not None:
             raise err
     return results
+
+
+def run_workers_elastic(
+    world_size: int,
+    fn: Callable[[Communicator], Any],
+    timeout: float = 120.0,
+    fabric: Optional[Fabric] = None,
+) -> Tuple[List[Any], List[Optional[WorkerError]]]:
+    """Fault-tolerant launch: worker deaths do not poison the fabric.
+
+    Returns ``(results, errors)`` indexed by rank; a rank has exactly one
+    of the two.  A dead rank is recorded via :meth:`Fabric.fail_rank` so
+    survivors (typically running :func:`repro.runtime.recovery.elastic_worker`)
+    observe ``PeerFailed`` and can shrink the group.  The caller decides
+    what surviving results mean; nothing is raised here unless the whole
+    group exceeds the join deadline.
+    """
+    return _launch(world_size, fn, timeout, fabric, elastic=True)

@@ -1,0 +1,191 @@
+"""Elastic ring-shrink recovery: survive a rank's death mid-training.
+
+WeiPipe's defining property — the full weight flow circulates past every
+rank each ring turn — means the *model* is never lost when one worker
+dies; only the dead rank's share of the schedule is.  This module turns
+that redundancy into a recovery protocol on top of the fail-stop
+detection in :mod:`repro.runtime.communicator`:
+
+1. **Detect** — a dead worker is recorded with
+   :meth:`~repro.runtime.communicator.Fabric.fail_rank`; every survivor
+   is interrupted with :class:`~repro.runtime.communicator.PeerFailed`
+   at its next fabric operation (blocked receivers wake immediately).
+2. **Agree** — survivors acknowledge the failure, form a recovery
+   subgroup over the remaining ranks and all-gather their last
+   *committed* step; the rollback target is the minimum.  Commit skew
+   across ranks is at most one step: the per-step commit fence is an
+   all-*gather* (not the cheaper two-rotation ring barrier, which only
+   synchronises a rank with its two left neighbours), so any rank that
+   completed the fence for step ``k`` proves every rank entered it —
+   i.e. everyone had already committed ``k``.  Keeping the last two
+   snapshots therefore guarantees every survivor holds the minimum.
+3. **Roll back & shrink** — each survivor restores the agreed
+   step-boundary snapshot, discards losses beyond it, and continues the
+   step loop on the shrunken group; each step runs on a freshly
+   namespaced subgroup so pre-crash traffic can never cross-match.
+
+The loop is strategy-agnostic: a *step function* (see
+:mod:`repro.parallel.elastic` for the strategy hooks) runs exactly one
+training iteration on a given subgroup from a given snapshot and returns
+the next snapshot.  Snapshots are opaque here; the step function must
+treat its input state as immutable.
+
+The protocol assumes fail-stop failures arriving one at a time
+(DESIGN.md §9): a second failure *during* recovery itself is
+unrecoverable and unwinds the group through the abort path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from .collectives import all_gather
+from .communicator import Communicator, PeerFailed
+from .subgroup import SubCommunicator
+
+__all__ = ["RecoveryEvent", "ElasticResult", "elastic_worker"]
+
+
+#: one training iteration: ``(subgroup, global_step, state) -> (loss, new_state)``.
+#: Must be deterministic in its arguments and must not mutate ``state``.
+StepFn = Callable[[Communicator, int, Any], Tuple[float, Any]]
+
+#: commit hook: ``(completed_steps, state, losses)`` — called on the
+#: lowest surviving rank after each step commits (checkpointing).
+CommitHook = Callable[[int, Any, List[float]], None]
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One successful ring-shrink recovery."""
+
+    #: rollback target: number of completed steps the group agreed on.
+    step: int
+    #: the step this survivor was computing when it was notified.
+    detected_at_step: int
+    failed_ranks: Tuple[int, ...]
+    survivors: Tuple[int, ...]
+
+    def describe(self) -> str:
+        return (
+            f"rank(s) {list(self.failed_ranks)} failed during step "
+            f"{self.detected_at_step}; rolled back to step {self.step} "
+            f"and continued on {len(self.survivors)} rank(s) "
+            f"{list(self.survivors)}"
+        )
+
+
+@dataclass
+class ElasticResult:
+    """Per-rank outcome of :func:`elastic_worker` (identical on every
+    survivor by construction — asserted by the driver)."""
+
+    losses: List[float]
+    state: Any
+    events: List[RecoveryEvent] = field(default_factory=list)
+    #: the snapshot each recovery rolled back to (for differential tests:
+    #: a clean run seeded from it must match the post-recovery curve).
+    rollback_states: List[Any] = field(default_factory=list)
+    survivors: List[int] = field(default_factory=list)
+
+
+def elastic_worker(
+    comm: Communicator,
+    iters: int,
+    initial_state: Any,
+    run_step: StepFn,
+    on_commit: Optional[CommitHook] = None,
+    max_recoveries: Optional[int] = None,
+) -> ElasticResult:
+    """Drive ``iters`` steps of ``run_step`` with ring-shrink recovery.
+
+    Every rank of the launching world runs this function (use
+    :func:`repro.runtime.launcher.run_workers_elastic`).  Each step:
+    compute on the current survivor subgroup, pass the all-gather commit
+    fence, *then* commit the snapshot — so a crash anywhere leaves every
+    survivor holding the last fence-confirmed state (or the one before
+    it; the rollback consensus below absorbs the one-step skew the
+    fence allows — see the module docstring).
+
+    ``max_recoveries`` bounds how many failures are absorbed before the
+    worker gives up and re-raises (``None`` = unlimited).
+    """
+    alive = list(range(comm.world_size))
+    # (completed_steps, state), newest last; two entries bound the skew.
+    committed: List[Tuple[int, Any]] = [(0, initial_state)]
+    losses: List[float] = []
+    events: List[RecoveryEvent] = []
+    rollback_states: List[Any] = []
+    epoch = 0
+    step = 0
+
+    while step < iters:
+        comm.report_progress(step)
+        try:
+            sub: Communicator = (
+                comm
+                if len(alive) == comm.world_size
+                else SubCommunicator(comm, alive, ("elastic", epoch))
+            )
+            loss, new_state = run_step(sub, step, committed[-1][1])
+            # strong commit fence: completing an all-gather proves every
+            # rank entered it (each rank needs a token from all others),
+            # which bounds commit skew between survivors to one step.
+            all_gather(sub, None, tag=("elastic-commit", epoch, step))
+            losses.append(loss)
+            committed.append((step + 1, new_state))
+            if len(committed) > 2:
+                committed.pop(0)
+            step += 1
+            if on_commit is not None and comm.rank == min(alive):
+                on_commit(step, new_state, list(losses))
+        except PeerFailed:
+            if max_recoveries is not None and len(events) >= max_recoveries:
+                raise
+            comm.acknowledge_failures()
+            dead = set(comm.failed_peers())  # cumulative across recoveries
+            newly_dead = sorted(set(alive) & dead)
+            new_alive = [r for r in alive if r not in dead]
+            if comm.rank not in new_alive or not new_alive:
+                raise  # this rank was itself declared dead — unwind.
+            epoch += 1
+            # consensus on the rollback step: survivors can disagree by
+            # at most one commit (see module docstring), so the minimum
+            # is a snapshot everyone still holds.
+            rsub = SubCommunicator(
+                comm, new_alive, ("elastic-recover", epoch, tuple(new_alive))
+            )
+            steps_all = all_gather(
+                rsub, committed[-1][0], tag=("elastic-steps", epoch)
+            )
+            target = min(steps_all)
+            snap = next(
+                (s for (st, s) in committed if st == target), None
+            )
+            if snap is None:  # pragma: no cover - protocol invariant
+                raise AssertionError(
+                    f"rank {comm.rank} cannot roll back to step {target}: "
+                    f"holds {[st for st, _ in committed]}"
+                )
+            committed = [(target, snap)]
+            del losses[target:]
+            rollback_states.append(snap)
+            events.append(
+                RecoveryEvent(
+                    step=target,
+                    detected_at_step=step,
+                    failed_ranks=tuple(newly_dead),
+                    survivors=tuple(new_alive),
+                )
+            )
+            alive = new_alive
+            step = target
+
+    return ElasticResult(
+        losses=losses,
+        state=committed[-1][1],
+        events=events,
+        rollback_states=rollback_states,
+        survivors=alive,
+    )

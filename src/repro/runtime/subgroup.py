@@ -65,6 +65,14 @@ class SubCommunicator(Communicator):
     def irecv(self, src: int, tag: Tuple = ()):
         return self._parent.irecv(self._ranks[src], self._tag(tag))
 
+    # -- failure bookkeeping uses *global* ranks ------------------------------
+
+    def acknowledge_failures(self) -> None:
+        self._parent.acknowledge_failures()
+
+    def report_progress(self, step: int) -> None:
+        self._parent.report_progress(step)
+
 
 def split_grid(
     comm: Communicator, rows: int, cols: int

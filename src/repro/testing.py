@@ -35,6 +35,9 @@ __all__ = [
     "compare_train_results",
     "default_differential_spec",
     "run_differential",
+    "CrashRecoveryReport",
+    "default_crash_spec",
+    "run_crash_recovery",
 ]
 
 
@@ -244,6 +247,190 @@ def compare_train_results(
                         f"(rtol={delta_rtol}, atol={delta_atol})"
                     )
     return None
+
+
+# ---------------------------------------------------------------------------
+# crash-recovery differential harness
+# ---------------------------------------------------------------------------
+
+
+def default_crash_spec(**overrides):
+    """The crash harness's default problem: sized so WeiPipe's
+    divisibility constraints (``L % P == 0``, ``N % P == 0``) hold both
+    before and after a world-4 → world-3 ring shrink; fp64 so the
+    differential check below is bit-exact, never a tolerance call."""
+    from .nn.precision import FP64
+    from .nn.model import ModelConfig
+    from .parallel.common import TrainSpec
+
+    cfg = overrides.pop(
+        "cfg", ModelConfig(hidden=16, n_layers=12, n_heads=2, seq_len=8, vocab=29)
+    )
+    base = dict(
+        cfg=cfg, n_microbatches=12, microbatch_size=2, iters=4, precision=FP64
+    )
+    base.update(overrides)
+    return TrainSpec(**base)
+
+
+@dataclass
+class CrashRecoveryReport:
+    """Outcome of one :func:`run_crash_recovery` experiment."""
+
+    strategy: str
+    world: int
+    seed: int
+    crash_rank: int
+    crash_at_post: int
+    losses: List[float] = field(default_factory=list)
+    survivors: List[int] = field(default_factory=list)
+    #: ``RecoveryEvent.describe()`` per ring-shrink that happened.
+    events: List[str] = field(default_factory=list)
+    #: True/False once the differential check ran; None if it could not
+    #: (no recovery happened, or verification was disabled).
+    verified: Optional[bool] = None
+    detail: str = ""
+
+    @property
+    def recovered(self) -> bool:
+        return bool(self.events)
+
+    def summary(self) -> str:
+        head = (
+            f"crash-recovery: strategy={self.strategy} world={self.world} "
+            f"seed={self.seed} -> rank {self.crash_rank} killed at its "
+            f"{self.crash_at_post}th send"
+        )
+        lines = [head] + [f"  {e}" for e in self.events]
+        if not self.events:
+            lines.append("  no recovery event (crash landed after the last commit)")
+        if self.verified is True:
+            lines.append(
+                "  differential: post-recovery run matches a clean "
+                f"{len(self.survivors)}-rank run from the rollback snapshot "
+                "bit-for-bit"
+            )
+        elif self.verified is False:
+            lines.append(f"  differential: MISMATCH — {self.detail}")
+        elif self.detail:
+            lines.append(f"  {self.detail}")
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        if self.verified is False:
+            raise AssertionError(self.summary())
+
+
+def run_crash_recovery(
+    spec=None,
+    strategy: str = "weipipe-interleave",
+    world: int = 4,
+    seed: int = 0,
+    crash_rank: Optional[int] = None,
+    crash_at_post: Optional[int] = None,
+    wire_chaos: bool = False,
+    verify: bool = True,
+    timeout: float = 120.0,
+) -> CrashRecoveryReport:
+    """Kill one worker mid-training and check elastic recovery end-to-end.
+
+    Three phases:
+
+    1. **Probe** — run the elastic job once on a quiet
+       :class:`~repro.runtime.ChaosFabric` to count how many messages
+       each rank sends, then (seeded by ``seed``) pick a victim rank and
+       a crash point inside the active phase of the run — unless both
+       are pinned explicitly.
+    2. **Crash** — rerun with :class:`~repro.runtime.ChaosPolicy`
+       injecting :class:`~repro.runtime.ChaosCrash` at that rank/post
+       (plus full wire chaos when ``wire_chaos``); the surviving ranks
+       must detect the failure, shrink the ring and finish training.
+    3. **Verify** — re-train the post-crash suffix from scratch: a clean
+       ``len(survivors)``-rank elastic run seeded from the rollback
+       snapshot must reproduce the post-recovery loss curve and final
+       weights *bit-for-bit* (the step engines are pure functions of the
+       snapshot, and fp64 makes the check exact; with reduced-precision
+       policies FSDP's float64 canonical state is re-quantised on resume,
+       so use the default fp64 spec for exact verification).
+    """
+    from dataclasses import replace as _replace
+
+    from .parallel.elastic import train_elastic
+    from .runtime import ChaosFabric, ChaosPolicy
+
+    if spec is None:
+        spec = default_crash_spec()
+
+    rng = np.random.default_rng((abs(int(seed)), 0xC4A54))
+    if crash_rank is None or crash_at_post is None:
+        probe_fab = ChaosFabric(world, ChaosPolicy.quiet(seed), timeout=timeout)
+        train_elastic(spec, strategy, world, fabric=probe_fab, timeout=timeout)
+        if crash_rank is None:
+            crash_rank = int(rng.integers(0, world))
+        if crash_at_post is None:
+            total = probe_fab._posts_by_rank.get(crash_rank, 0)
+            # keep the crash inside the active phase: late enough that
+            # at least one step committed, early enough that survivors
+            # are still communicating and must recover.
+            lo = max(1, int(total * 0.10))
+            hi = max(lo, int(total * 0.85))
+            crash_at_post = int(rng.integers(lo, hi + 1))
+    crash_rank = int(crash_rank)
+    crash_at_post = int(crash_at_post)
+
+    base = ChaosPolicy(seed=seed) if wire_chaos else ChaosPolicy.quiet(seed)
+    policy = _replace(base, crash_rank=crash_rank, crash_at_post=crash_at_post)
+    fabric = ChaosFabric(world, policy, timeout=timeout)
+    result = train_elastic(spec, strategy, world, fabric=fabric, timeout=timeout)
+
+    events = result.extra["recovery_events"]
+    report = CrashRecoveryReport(
+        strategy=strategy,
+        world=world,
+        seed=seed,
+        crash_rank=crash_rank,
+        crash_at_post=crash_at_post,
+        losses=list(result.losses),
+        survivors=list(result.extra["survivors"]),
+        events=[e.describe() for e in events],
+    )
+    if not events:
+        report.detail = (
+            "crash fired but no survivor needed to recover "
+            "(injection point was after the last commit fence)"
+        )
+        return report
+    if not verify:
+        report.detail = "differential verification skipped"
+        return report
+
+    ev = events[-1]
+    snap = result.extra["rollback_states"][-1]
+    suffix_spec = _replace(
+        spec,
+        iters=spec.iters - ev.step,
+        start_iteration=spec.start_iteration + ev.step,
+        initial_chunks=snap.chunks,
+        initial_opt_state=snap.opt_state,
+    )
+    clean = train_elastic(
+        suffix_spec, strategy, len(ev.survivors), timeout=timeout
+    )
+    suffix = result.losses[ev.step :]
+    if list(map(float, suffix)) != list(map(float, clean.losses)):
+        report.verified = False
+        report.detail = (
+            f"post-recovery losses {suffix} != clean-run losses {clean.losses}"
+        )
+        return report
+    for i, (a, b) in enumerate(zip(result.chunks, clean.chunks)):
+        err = a.max_abs_diff(b)
+        if err != 0.0:
+            report.verified = False
+            report.detail = f"final weights differ at chunk {i}: max |err|={err:.3e}"
+            return report
+    report.verified = True
+    return report
 
 
 def run_differential(

@@ -1,0 +1,207 @@
+"""Failure detection, the elastic launcher, and the ring-shrink loop."""
+
+import time
+
+import pytest
+
+from repro.runtime import (
+    Fabric,
+    FabricAborted,
+    PeerFailed,
+    elastic_worker,
+    run_workers,
+    run_workers_elastic,
+)
+
+
+class TestFailureDetection:
+    def test_blocked_receiver_wakes_with_peerfailed(self):
+        """A survivor parked in recv is interrupted, not timed out."""
+        fab = Fabric(2, timeout=30.0)
+
+        def fn(comm):
+            if comm.rank == 0:
+                raise RuntimeError("boom")
+            t0 = time.monotonic()
+            with pytest.raises(PeerFailed) as exc_info:
+                comm.recv(0, ("never-sent",))
+            assert time.monotonic() - t0 < 5.0
+            assert exc_info.value.ranks == (0,)
+            return "survived"
+
+        results, errors = run_workers_elastic(2, fn, timeout=30.0, fabric=fab)
+        assert results[1] == "survived"
+        assert errors[0] is not None and errors[1] is None
+
+    def test_acknowledge_then_continue(self):
+        """After acknowledging, survivors can keep using the fabric."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                raise RuntimeError("boom")
+            with pytest.raises(PeerFailed):
+                comm.recv(0, ("x",))
+            comm.acknowledge_failures()
+            assert list(comm.failed_peers()) == [0]
+            # survivors 1 and 2 can still talk to each other.
+            if comm.rank == 1:
+                comm.send("hello", 2, ("post-crash",))
+                return None
+            return comm.recv(1, ("post-crash",))
+
+        results, errors = run_workers_elastic(3, fn, timeout=30.0)
+        assert results[2] == "hello"
+        assert errors[0] is not None
+
+    def test_unacknowledged_failure_keeps_interrupting(self):
+        """Every fabric op re-raises until the failure is acknowledged."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                raise RuntimeError("boom")
+            with pytest.raises(PeerFailed):
+                comm.recv(0, ("x",))
+            with pytest.raises(PeerFailed):
+                comm.send(1, (comm.rank % 2) + 1, ("y",))
+            comm.acknowledge_failures()
+            return "ok"
+
+        results, errors = run_workers_elastic(3, fn, timeout=30.0)
+        assert results[1] == results[2] == "ok"
+
+    def test_plain_run_workers_still_aborts(self):
+        """The non-elastic launcher keeps fail-fast abort semantics."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                raise RuntimeError("boom")
+            with pytest.raises(FabricAborted):
+                comm.recv(0, ("x",))
+            raise RuntimeError("unreachable rendezvous")  # pragma: no cover
+
+        with pytest.raises(Exception) as exc_info:
+            run_workers(2, fn, timeout=30.0)
+        assert "boom" in str(exc_info.value)
+
+
+class TestSharedJoinDeadline:
+    def test_group_deadline_is_not_per_thread(self):
+        """Six slow ranks share ONE deadline; the slowest is caught even
+        though each individual join, timed from its own start, would have
+        let it slip through."""
+
+        def fn(comm):
+            time.sleep(0.3 * (comm.rank + 1))
+
+        t0 = time.monotonic()
+        with pytest.raises(TimeoutError, match="shared across all ranks"):
+            run_workers(6, fn, timeout=1.0)
+        assert time.monotonic() - t0 < 3.0
+
+
+class TestElasticWorkerLoop:
+    @staticmethod
+    def _counting_step(crash_world=None, crash_step=None):
+        """Toy engine over integer state; optionally kills rank 2 once."""
+
+        def run_step(sub, step, state):
+            if (
+                crash_world is not None
+                and sub.world_size == crash_world
+                and sub.rank == crash_world - 1
+                and step == crash_step
+            ):
+                raise RuntimeError("injected crash")
+            return float(state), state + 1
+
+        return run_step
+
+    def test_no_failure_plain_loop(self):
+        def fn(comm):
+            return elastic_worker(
+                comm, iters=4, initial_state=0, run_step=self._counting_step()
+            )
+
+        results, errors = run_workers_elastic(3, fn, timeout=60.0)
+        assert errors == [None, None, None]
+        for res in results:
+            assert res.losses == [0.0, 1.0, 2.0, 3.0]
+            assert res.state == 4
+            assert res.events == [] and res.survivors == [0, 1, 2]
+
+    def test_rollback_and_shrink(self):
+        """Rank 2 dies during step 1: survivors roll back to the last
+        jointly committed step and the final curve is what a clean run
+        would have produced (the toy engine is world-size-invariant)."""
+        step = self._counting_step(crash_world=3, crash_step=1)
+
+        def fn(comm):
+            return elastic_worker(comm, iters=4, initial_state=0, run_step=step)
+
+        results, errors = run_workers_elastic(3, fn, timeout=60.0)
+        assert errors[2] is not None and errors[0] is errors[1] is None
+        for res in (results[0], results[1]):
+            assert res.losses == [0.0, 1.0, 2.0, 3.0]
+            assert res.state == 4
+            assert res.survivors == [0, 1]
+            (event,) = res.events
+            assert event.failed_ranks == (2,)
+            assert event.survivors == (0, 1)
+            assert event.step <= 1 and event.detected_at_step >= event.step
+            assert res.rollback_states == [event.step]
+
+    def test_two_sequential_failures(self):
+        """4 -> 3 -> 2 ranks across two separate crashes."""
+
+        def run_step(sub, step, state):
+            if sub.world_size == 4 and sub.rank == 3 and step == 1:
+                raise RuntimeError("first crash")
+            if sub.world_size == 3 and sub.rank == 2 and step == 2:
+                raise RuntimeError("second crash")
+            return float(state), state + 1
+
+        def fn(comm):
+            return elastic_worker(comm, iters=4, initial_state=0, run_step=run_step)
+
+        results, errors = run_workers_elastic(4, fn, timeout=60.0)
+        assert errors[2] is not None and errors[3] is not None
+        for res in (results[0], results[1]):
+            assert res.losses == [0.0, 1.0, 2.0, 3.0]
+            assert res.state == 4
+            assert res.survivors == [0, 1]
+            assert [e.failed_ranks for e in res.events] == [(3,), (2,)]
+
+    def test_max_recoveries_zero_propagates(self):
+        """With recovery disabled the survivors re-raise PeerFailed."""
+        step = self._counting_step(crash_world=3, crash_step=1)
+
+        def fn(comm):
+            return elastic_worker(
+                comm, iters=4, initial_state=0, run_step=step, max_recoveries=0
+            )
+
+        results, errors = run_workers_elastic(3, fn, timeout=60.0)
+        assert all(e is not None for e in errors)
+        assert isinstance(errors[0].original, PeerFailed)
+
+    def test_commit_hook_fires_on_lowest_survivor(self):
+        commits = []
+
+        def on_commit(completed, state, losses):
+            commits.append((completed, state, tuple(losses)))
+
+        def fn(comm):
+            return elastic_worker(
+                comm,
+                iters=3,
+                initial_state=0,
+                run_step=self._counting_step(),
+                on_commit=on_commit,
+            )
+
+        run_workers_elastic(2, fn, timeout=60.0)
+        assert commits == [
+            (1, 1, (0.0,)),
+            (2, 2, (0.0, 1.0)),
+            (3, 3, (0.0, 1.0, 2.0)),
+        ]

@@ -124,6 +124,92 @@ class TestChaosSweepCLI:
             ])
 
 
+class TestCheckpointCLI:
+    TINY = [
+        "--hidden", "16", "--layers", "4", "--heads", "2", "--seq", "8",
+        "--vocab", "17", "--microbatches", "4", "--world", "4",
+    ]
+
+    def test_checkpoint_then_full_state_resume(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck.npz")
+        rc = main(["train", "--iters", "2", "--checkpoint-every", "1",
+                   "--checkpoint-path", ck, *self.TINY])
+        assert rc == 0
+        straight_out = capsys.readouterr().out
+        assert "checkpoint written" in straight_out
+
+        rc = main(["train", "--iters", "2", "--resume", ck, *self.TINY])
+        assert rc == 0
+        resumed_out = capsys.readouterr().out
+        assert "resuming (full state)" in resumed_out
+        assert "at iteration 2" in resumed_out
+        assert "iter    2" in resumed_out and "iter    3" in resumed_out
+
+        # the resumed segment must equal the tail of an unbroken run.
+        rc = main(["train", "--iters", "4", *self.TINY])
+        assert rc == 0
+        unbroken_out = capsys.readouterr().out
+        for line in resumed_out.splitlines():
+            if line.startswith("iter "):
+                assert line in unbroken_out
+
+    def test_cross_strategy_resume_is_weights_only(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck.npz")
+        assert main(["train", "--iters", "1", "--checkpoint-every", "1",
+                     "--checkpoint-path", ck, *self.TINY]) == 0
+        capsys.readouterr()
+        rc = main(["train", "--iters", "1", "--strategy", "dp",
+                   "--resume", ck, *self.TINY])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "weights-only" in out and "optimizer restarts" in out
+
+    def test_corrupt_checkpoint_refused(self, tmp_path):
+        """Tamper with one tensor but keep the zip container consistent:
+        only the checkpoint's own checksums can catch it — and they must
+        stop the resume cold."""
+        import numpy as np
+
+        from repro.io import CorruptCheckpointError
+
+        ck = tmp_path / "ck.npz"
+        assert main(["train", "--iters", "1", "--checkpoint-every", "1",
+                     "--checkpoint-path", str(ck), *self.TINY]) == 0
+        with np.load(ck) as data:
+            arrays = {k: data[k].copy() for k in data.files}
+        key = next(k for k in arrays if k.startswith("chunk"))
+        arrays[key] = arrays[key] + 1.0
+        np.savez_compressed(ck, **arrays)
+        with pytest.raises(CorruptCheckpointError):
+            main(["train", "--iters", "1", "--resume", str(ck), *self.TINY])
+
+    def test_checkpoint_needs_elastic_strategy(self):
+        with pytest.raises(SystemExit, match="elastic strategy"):
+            main(["train", "--iters", "1", "--strategy", "1f1b",
+                  "--checkpoint-every", "1", *self.TINY])
+
+    def test_checkpoint_rejected_with_dp(self):
+        with pytest.raises(SystemExit, match="not supported with --dp"):
+            main(["train", "--iters", "1", "--dp", "2",
+                  "--checkpoint-every", "1", *self.TINY])
+
+
+class TestCrashRecoveryCLI:
+    def test_defaults(self):
+        args = build_parser().parse_args(["crash-recovery"])
+        assert args.strategy == "weipipe-interleave"
+        assert args.world == 4
+        assert args.crash_rank is None and args.crash_at_post is None
+
+    def test_pinned_crash_verifies(self, capsys):
+        rc = main(["crash-recovery", "--crash-rank", "0",
+                   "--crash-at-post", "76"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rolled back to step" in out
+        assert "bit-for-bit" in out
+
+
 class TestHybridCLI:
     def test_train_with_dp(self, capsys):
         rc = main([

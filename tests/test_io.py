@@ -1,11 +1,21 @@
-"""Checkpointing: round trips and cross-strategy resumption."""
+"""Checkpointing: round trips, durability (v2) and resumption."""
+
+import json
+from dataclasses import asdict
 
 import numpy as np
 import pytest
 
-from repro import FP64, ModelConfig, SGD, TrainSpec, train
-from repro.io import load_checkpoint, save_checkpoint
+from repro import Adam, FP64, MasterWeightOptimizer, MIXED, ModelConfig, SGD, TrainSpec, train
+from repro.io import (
+    CheckpointError,
+    CorruptCheckpointError,
+    load_checkpoint,
+    load_checkpoint_state,
+    save_checkpoint,
+)
 from repro.nn import init_model
+from repro.parallel.common import init_opt_states
 
 CFG = ModelConfig(hidden=16, n_layers=4, n_heads=2, seq_len=8, vocab=29)
 
@@ -100,3 +110,162 @@ class TestResume:
         train(_spec(iters=1, initial=initial), "serial", 1)
         for a, b in zip(initial, snapshot):
             assert a.max_abs_diff(b) == 0.0
+
+
+def _adam_state(chunks):
+    spec = _spec(iters=1)
+    opt = Adam(lr=1e-3)
+    states = init_opt_states(spec, opt, chunks)
+    states[0]["t"] = 7  # non-default scalar must survive the round trip
+    return states
+
+
+class TestFormatV2:
+    def test_full_state_round_trip(self, tmp_path):
+        chunks = init_model(CFG, seed=3)
+        states = _adam_state(chunks)
+        path = save_checkpoint(
+            tmp_path / "full", CFG, chunks,
+            metadata={"k": 1},
+            opt_state=states,
+            train_state={"next_iteration": 9, "strategy": "fsdp",
+                         "losses": [1.5, 1.25]},
+        )
+        assert path.suffix == ".npz"
+        ckpt = load_checkpoint_state(path)
+        assert ckpt.version == 2
+        assert ckpt.metadata == {"k": 1}
+        assert ckpt.train_state == {"next_iteration": 9, "strategy": "fsdp",
+                                    "losses": [1.5, 1.25]}
+        assert ckpt.opt_state[0]["t"] == 7
+        assert isinstance(ckpt.opt_state[0]["t"], int)
+        for orig, loaded in zip(states, ckpt.opt_state):
+            assert orig["m"].max_abs_diff(loaded["m"]) == 0.0
+            assert orig["v"].max_abs_diff(loaded["v"]) == 0.0
+        for a, b in zip(chunks, ckpt.chunks):
+            assert a.max_abs_diff(b) == 0.0
+
+    def test_nested_master_weight_state(self, tmp_path):
+        chunks = init_model(CFG, seed=3)
+        mw = MasterWeightOptimizer(Adam(lr=1e-3), MIXED)
+        states = [mw.init_state(c) for c in chunks]
+        path = save_checkpoint(tmp_path / "mw", CFG, chunks, opt_state=states)
+        ckpt = load_checkpoint_state(path)
+        assert ckpt.opt_state[0]["master"].max_abs_diff(states[0]["master"]) == 0.0
+        assert (
+            ckpt.opt_state[0]["inner"]["m"].max_abs_diff(states[0]["inner"]["m"])
+            == 0.0
+        )
+
+    def test_failed_save_leaves_target_intact(self, tmp_path, monkeypatch):
+        """A crash mid-write must neither clobber the existing checkpoint
+        nor leave a temp file behind (atomic temp + rename)."""
+        chunks = init_model(CFG, seed=3)
+        path = save_checkpoint(tmp_path / "ck", CFG, chunks)
+        before = path.read_bytes()
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez_compressed", boom)
+        with pytest.raises(OSError):
+            save_checkpoint(path, CFG, init_model(CFG, seed=4))
+        assert path.read_bytes() == before
+        assert list(tmp_path.iterdir()) == [path]
+        monkeypatch.undo()
+        load_checkpoint_state(path)  # still a valid checkpoint
+
+    def test_array_tamper_detected_by_our_checksums(self, tmp_path):
+        """Rewrite the archive with one flipped tensor but a consistent
+        zip container: only the per-array CRCs in the header catch it."""
+        chunks = init_model(CFG, seed=3)
+        path = save_checkpoint(tmp_path / "ck", CFG, chunks)
+        with np.load(path) as data:
+            arrays = {k: data[k].copy() for k in data.files}
+        key = "chunk0/wq"
+        arrays[key] = arrays[key] + 1.0
+        np.savez_compressed(path, **arrays)  # fresh, self-consistent zip
+        with pytest.raises(CorruptCheckpointError, match="checksum mismatch"):
+            load_checkpoint_state(path)
+
+    def test_header_tamper_detected(self, tmp_path):
+        chunks = init_model(CFG, seed=3)
+        path = save_checkpoint(tmp_path / "ck", CFG, chunks)
+        with np.load(path) as data:
+            arrays = {k: data[k].copy() for k in data.files}
+        header = json.loads(bytes(arrays["__header__"]).decode())
+        header["metadata"]["injected"] = True
+        arrays["__header__"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(CorruptCheckpointError, match="header checksum"):
+            load_checkpoint_state(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        chunks = init_model(CFG, seed=3)
+        path = save_checkpoint(tmp_path / "ck", CFG, chunks)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 3])
+        with pytest.raises(CorruptCheckpointError):
+            load_checkpoint_state(path)
+
+    def test_bit_rot_rejected(self, tmp_path):
+        """Corrupting the middle third of the raw file (array data for
+        any checkpoint this size) is caught at the container layer."""
+        chunks = init_model(CFG, seed=3)
+        path = save_checkpoint(tmp_path / "ck", CFG, chunks)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 3 : 2 * len(raw) // 3] = bytes(len(raw) // 3)
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CorruptCheckpointError):
+            load_checkpoint_state(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="does not exist"):
+            load_checkpoint_state(tmp_path / "nope.npz")
+
+    def test_v1_checkpoint_still_loads(self, tmp_path):
+        """Files written by the pre-durability format keep loading;
+        they simply carry no optimizer/train state and no checksums."""
+        chunks = init_model(CFG, seed=3)
+        arrays = {}
+        for i, chunk in enumerate(chunks):
+            for name, arr in chunk.items():
+                arrays[f"chunk{i}/{name}"] = arr
+        cfg_dict = asdict(CFG)
+        cfg_dict["dtype"] = np.dtype(CFG.dtype).name
+        header = {
+            "version": 1, "config": cfg_dict, "metadata": {"old": True},
+            "chunk_keys": [c.keys() for c in chunks],
+        }
+        arrays["__header__"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        path = tmp_path / "v1.npz"
+        np.savez_compressed(path, **arrays)
+        ckpt = load_checkpoint_state(path)
+        assert ckpt.version == 1
+        assert ckpt.opt_state is None and ckpt.train_state is None
+        assert ckpt.metadata == {"old": True}
+        for a, b in zip(chunks, ckpt.chunks):
+            assert a.max_abs_diff(b) == 0.0
+
+    def test_unknown_version_rejected(self, tmp_path):
+        header = {"version": 99, "config": {}, "chunk_keys": []}
+        arrays = {
+            "__header__": np.frombuffer(
+                json.dumps(header).encode(), dtype=np.uint8
+            )
+        }
+        path = tmp_path / "future.npz"
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(CheckpointError, match="version 99 unsupported"):
+            load_checkpoint_state(path)
+
+    def test_opt_state_length_mismatch_rejected(self, tmp_path):
+        chunks = init_model(CFG, seed=3)
+        with pytest.raises(ValueError, match="opt_state"):
+            save_checkpoint(
+                tmp_path / "ck", CFG, chunks, opt_state=[{}] * (len(chunks) - 1)
+            )
