@@ -172,6 +172,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cr.add_argument("--iters", type=int, default=None)
 
+    p_bo = sub.add_parser(
+        "bench-overlap",
+        help="microbenchmark the double-buffered ring vs the synchronous "
+             "ring and write BENCH_overlap.json",
+    )
+    p_bo.add_argument("--hidden", type=int, default=16)
+    p_bo.add_argument("--layers", type=int, default=16)
+    p_bo.add_argument("--heads", type=int, default=2)
+    p_bo.add_argument("--seq", type=int, default=16)
+    p_bo.add_argument("--vocab", type=int, default=16)
+    p_bo.add_argument("--world", type=int, default=2)
+    p_bo.add_argument("--microbatches", type=int, default=16)
+    p_bo.add_argument("--microbatch-size", type=int, default=1)
+    p_bo.add_argument("--iters", type=int, default=3)
+    p_bo.add_argument("--seed", type=int, default=7)
+    p_bo.add_argument(
+        "--mode", default="interleave",
+        choices=["naive", "interleave", "zero-bubble"],
+    )
+    p_bo.add_argument("--precision", default="fp64", choices=["fp32", "fp64"])
+    p_bo.add_argument(
+        "--link-delay", type=float, default=0.006,
+        help="reference wire: max per-message hold-back in seconds "
+             "(uniform in [0, d], deterministic per message in the seed)",
+    )
+    p_bo.add_argument(
+        "--chaos-seed", type=int, default=1,
+        help="seed of the reference wire's delay schedule",
+    )
+    p_bo.add_argument(
+        "--reps", type=int, default=3,
+        help="best-of-N wall-clock per engine per wire",
+    )
+    p_bo.add_argument(
+        "--no-control", action="store_true",
+        help="skip the zero-latency control runs (plain fabric)",
+    )
+    p_bo.add_argument(
+        "--out", default="BENCH_overlap.json",
+        help="path of the JSON artefact",
+    )
+
     p_tl = sub.add_parser("timeline", help="render a schedule timeline")
     p_tl.add_argument(
         "schedule",
@@ -417,6 +459,52 @@ def _cmd_crash_recovery(args) -> int:
     return 1 if report.verified is False else 0
 
 
+def _cmd_bench_overlap(args) -> int:
+    import json
+
+    from .experiments.overlap import run_overlap_comparison
+
+    report = run_overlap_comparison(
+        hidden=args.hidden, n_layers=args.layers, n_heads=args.heads,
+        seq_len=args.seq, vocab=args.vocab, world=args.world,
+        n_microbatches=args.microbatches,
+        microbatch_size=args.microbatch_size, iters=args.iters,
+        seed=args.seed, mode=args.mode, precision=args.precision,
+        link_delay_s=args.link_delay, chaos_seed=args.chaos_seed,
+        reps=args.reps, zero_latency_control=not args.no_control,
+    )
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+
+    sync, ovl = report["sync"], report["overlap"]
+    print(f"wire                : seeded-delay <= {args.link_delay * 1e3:.1f} ms "
+          f"(chaos seed {args.chaos_seed})")
+    print(f"sync ring           : {sync['tokens_per_s']:,.0f} tokens/s "
+          f"({sync['wall_s'] * 1e3:,.0f} ms, "
+          f"wire-wait/compute {sync['wire_wait_per_compute']:.2f})")
+    print(f"overlap ring        : {ovl['tokens_per_s']:,.0f} tokens/s "
+          f"({ovl['wall_s'] * 1e3:,.0f} ms, "
+          f"wire-wait/compute {ovl['wire_wait_per_compute']:.2f})")
+    print(f"speedup             : {report['speedup_tokens_per_s']:.2f}x")
+    if "zero_latency" in report:
+        print(f"zero-latency control: "
+              f"{report['zero_latency']['speedup_tokens_per_s']:.2f}x "
+              "(compute-bound on the in-process fabric)")
+    print(f"bytes moved         : {ovl['bytes_moved']:,} "
+          f"(equal across engines: {report['bytes_equal']})")
+    print(f"pool                : {ovl['pool']}")
+    print(f"steady-state allocs : {ovl['steady_state_allocs_per_iter']} "
+          "new buffers/iteration after warmup")
+    print(f"losses bit-equal    : {report['losses_equal']}")
+    print(f"[saved to {args.out}]")
+    if not report["losses_equal"]:
+        return 1
+    if ovl["steady_state_allocs_per_iter"] != 0:
+        return 1
+    return 0
+
+
 def _cmd_timeline(args) -> int:
     from .sim import WorkloadDims, nvlink_cluster, render_timeline
     from .sim.costmodel import ExecConfig
@@ -452,6 +540,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "timeline": lambda: _cmd_timeline(args),
         "chaos-sweep": lambda: _cmd_chaos_sweep(args),
         "crash-recovery": lambda: _cmd_crash_recovery(args),
+        "bench-overlap": lambda: _cmd_bench_overlap(args),
     }
     return handlers[args.command]()
 

@@ -19,23 +19,46 @@ activations never leave the worker — while the weights rotate past:
   the update and re-injects fresh weights into both flows for the next
   iteration.
 
+Two ring engines share the schedule and compute code (DESIGN.md §10):
+
+* the **overlap** engine (default) double-buffers the wire the way the
+  paper's ``batch_isend_irecv`` prefetch does: next-turn receives are
+  posted and the held W slots forwarded *before* this turn's compute, so
+  the only wire wait left on the critical path is the consume point.
+  Slots are arena-backed (:class:`~repro.nn.params.ParamStruct`), and a
+  fabric-wide :class:`~repro.nn.params.BufferPool` recycles weight
+  buffers so the steady-state turn allocates nothing;
+* the **sync** engine (``overlap=False``) is the pre-overlap ring —
+  blocking recv, compute, send — kept as the honest baseline the
+  ``bench-overlap`` harness compares against.
+
 Numerical contract: identical losses and final weights as
 :func:`repro.parallel.serial.train_serial` (exact in fp32/fp64 policies
-up to accumulation order) — enforced by ``tests/integration``.
+up to accumulation order) — enforced by ``tests/integration`` for both
+engines.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..nn.checkpoint import CheckpointedChunk
 from ..nn import functional as F
-from ..nn.params import ParamStruct
+from ..nn.params import BufferPool, ParamStruct
+from ..nn.precision import is_exact
 from ..optim.optimizer import clone_opt_state
-from ..parallel.common import TrainResult, TrainSpec, microbatch, pre_update, quantize_grads
+from ..parallel.common import (
+    TrainResult,
+    TrainSpec,
+    microbatch,
+    pre_update,
+    quantize_grads,
+    quantize_grads_,
+)
 from ..runtime import Communicator, Fabric, all_gather, run_workers
 from .schedule import (
     TurnTask,
@@ -76,7 +99,8 @@ class _MicrobatchState:
 
 class _WeiPipeWorker:
     def __init__(self, comm: Communicator, spec: TrainSpec, mode: str,
-                 dp_comm: Optional[Communicator] = None):
+                 dp_comm: Optional[Communicator] = None,
+                 overlap: bool = True):
         self.comm = comm
         #: replica group for 2-D hybrids (repro.core.hybrid): the owners
         #: of the same slot across data-parallel rings sync D here.
@@ -86,6 +110,13 @@ class _WeiPipeWorker:
         self.rank = comm.rank
         self.world = comm.world_size
         self.mode = mode
+        self.overlap = overlap
+        #: weight-buffer recycler, shared by all ranks of the fabric so a
+        #: slot released at its owner's update is reused by the next
+        #: inject — the zero-allocation steady state the benchmark gates.
+        self.pool: Optional[BufferPool] = (
+            comm.fabric.shared_pool(BufferPool) if overlap else None
+        )
         self.last_slot = self.world - 1
         self.cos, self.sin = spec.rope()
         self.ck = CheckpointedChunk(self.cfg, recompute=spec.recompute)
@@ -94,6 +125,8 @@ class _WeiPipeWorker:
         self.w_wire = spec.precision.weight_bytes
         self.d_wire = spec.precision.weight_grad_bytes
         self.scale = 1.0 / spec.n_microbatches
+        #: identity wire format for D => skip the quantise round trips.
+        self._d_exact = is_exact(spec.precision.weight_grads, self.cfg.dtype)
 
         chunks_all = spec.init_chunks()
 
@@ -101,7 +134,7 @@ class _WeiPipeWorker:
         self.fwd_slot: SlotWeights = self._slot_view(chunks_all, self._initial_fwd_slot())
         self.bwd_slot: SlotWeights = self._slot_view(chunks_all, self._initial_bwd_slot())
         self.grad_slot: SlotWeights = {
-            i: w.zeros_like() for i, w in self.bwd_slot.items()
+            i: w.zeros_like(self.pool) for i, w in self.bwd_slot.items()
         }
 
         # this worker owns the slot whose backward flow starts here: its
@@ -130,6 +163,16 @@ class _WeiPipeWorker:
         # B pass and its deferred W pass one ring revolution later.
         self.pending_w: Dict[tuple, tuple] = {}
         self.peak_pending_w = 0
+        # overlap telemetry (seconds / counter snapshots per iteration).
+        self.wire_wait = 0.0
+        self.compute_s = 0.0
+        self.pool_allocs_by_iter: List[int] = []
+        # hybrid mode: chunk id -> preallocated all-reduce pack buffer.
+        self._dp_flat: Dict[int, np.ndarray] = {}
+        # overlap mode: when set, _accumulate_grad stashes (chunk id, g)
+        # here instead of adding into grad_slot, so the circulating D can
+        # arrive *after* the backward compute (see _ring_turns_overlap).
+        self._deferred: Optional[List[Tuple[int, ParamStruct]]] = None
 
     # -- helpers ---------------------------------------------------------------
 
@@ -139,14 +182,40 @@ class _WeiPipeWorker:
     def _initial_bwd_slot(self) -> int:
         return (self.rank - 1) % self.world
 
+    def _clone_chunk(self, c: ParamStruct) -> ParamStruct:
+        if self.pool is not None and c.common_dtype is not None:
+            return c.clone(self.pool)
+        return c.clone()
+
     def _slot_view(self, chunks_all: List[ParamStruct], slot: int) -> SlotWeights:
         return {
-            i: chunks_all[i].clone()
+            i: self._clone_chunk(chunks_all[i])
             for i in slot_chunk_ids(slot, self.world, self.cfg.n_layers)
         }
 
     def _slot_nbytes(self, slot: SlotWeights, wire: int) -> int:
         return sum(w.numel for w in slot.values()) * wire
+
+    def _release_slot(self, slot: SlotWeights) -> None:
+        """Return a slot's arenas to the pool.
+
+        Only legal once no rank can still read them: the caller must have
+        waited this iteration's final D, which the predecessor sends
+        strictly after its last compute on the objects it forwarded
+        (DESIGN.md §10).
+        """
+        if self.pool is None:
+            return
+        for w in slot.values():
+            a = w.arena
+            if a is not None:
+                self.pool.release(a)
+
+    def release_buffers(self) -> None:
+        """Recycle the fwd/grad slot arenas (end of a step-scoped worker;
+        the bwd slots escape as the returned canonical state)."""
+        self._release_slot(self.fwd_slot)
+        self._release_slot(self.grad_slot)
 
     # -- compute ---------------------------------------------------------------
 
@@ -175,6 +244,24 @@ class _WeiPipeWorker:
         """Add one chunk contribution into the circulating D at wire
         precision: the running sum itself lives in the (emulated) fp16
         buffer."""
+        if self._deferred is not None:
+            # overlap engine, mid-turn: the circulating D has not been
+            # waited for yet.  Park the contribution; the turn loop adds
+            # it (through this same method) once D lands.  Chunk sums are
+            # independent, and draining preserves call order, so the
+            # values are bit-identical to accumulating right here.
+            self._deferred.append((i, g))
+            return
+        if self.overlap:
+            # same values as the sync path, without the per-turn struct
+            # rebuilds: g is scratch so it is quantised in place, and the
+            # identity formats (fp32/fp64 policies) skip the round trips.
+            if not self._d_exact:
+                quantize_grads_(g, self.spec.precision)
+            self.grad_slot[i].add_(g, scale=self.scale)
+            if not self._d_exact:
+                quantize_grads_(self.grad_slot[i], self.spec.precision)
+            return
         self.grad_slot[i].add_(
             quantize_grads(g, self.spec.precision), scale=self.scale
         )
@@ -218,6 +305,18 @@ class _WeiPipeWorker:
             g = self.ck.bwd_weight(i, cache, wcache)
             self._accumulate_grad(i, g)
 
+    def _check_slot(self, kind: str, slot: int, expected: int) -> None:
+        if slot != expected:
+            raise AssertionError(
+                f"schedule/flow mismatch: {kind} slot {slot} but holding {expected}"
+            )
+
+    def _run_bwd(self, it: int, slot: int, mb: int) -> None:
+        if self.mode == "zero-bubble":
+            self._b_pass_slot(it, slot, mb)
+        else:
+            self._backward_slot(it, slot, mb)
+
     # -- the turn loop -----------------------------------------------------------
 
     def run_iteration(self, it: int) -> float:
@@ -230,41 +329,53 @@ class _WeiPipeWorker:
         else:
             raise ValueError(f"unknown WeiPipe mode {self.mode!r}")
 
+        if self.overlap:
+            self._ring_turns_overlap(it, total, task_fn)
+        else:
+            self._ring_turns_sync(it, total, task_fn)
+
+        self._update_pass(it)
+
+        losses = all_gather(self.comm, dict(self.losses_by_mb), tag=("wp-loss", it))
+        self.losses_by_mb.clear()
+        if self.pool is not None:
+            # post-gather: every rank's update pass (and its pool traffic)
+            # for this iteration is complete, so the counter is a clean
+            # per-iteration snapshot for the allocation-regression gate.
+            self.pool_allocs_by_iter.append(self.pool.allocations)
+        merged: Dict[int, float] = {}
+        for d in losses:
+            merged.update(d)
+        return sum(merged.values()) / self.spec.n_microbatches
+
+    def _ring_turns_sync(self, it: int, total: int, task_fn) -> None:
+        """Pre-overlap engine: blocking recv, compute, send, every turn."""
         left, right = self.comm.left, self.comm.right
+        pc = perf_counter
         for t in range(total):
             if t > 0:
+                t0 = pc()
                 self.fwd_slot = self.comm.recv(left, ("F", it, t))
                 self.bwd_slot = self.comm.recv(left, ("B", it, t))
                 self.grad_slot = self.comm.recv(left, ("D", it, t))
+                self.wire_wait += pc() - t0
 
             task: TurnTask = task_fn(self.rank, t)
+            c0 = pc()
             if task.fwd is not None:
                 slot, mb = task.fwd
-                expected = fwd_slot_held(self.rank, t, self.world)
-                if slot != expected:
-                    raise AssertionError(
-                        f"schedule/flow mismatch: fwd slot {slot} but holding {expected}"
-                    )
+                self._check_slot("fwd", slot, fwd_slot_held(self.rank, t, self.world))
                 self._forward_slot(it, slot, mb)
             if task.bwd is not None:
                 slot, mb = task.bwd
-                expected = bwd_slot_held(self.rank, t, self.world)
-                if slot != expected:
-                    raise AssertionError(
-                        f"schedule/flow mismatch: bwd slot {slot} but holding {expected}"
-                    )
-                if self.mode == "zero-bubble":
-                    self._b_pass_slot(it, slot, mb)
-                else:
-                    self._backward_slot(it, slot, mb)
+                self._check_slot("bwd", slot, bwd_slot_held(self.rank, t, self.world))
+                self._run_bwd(it, slot, mb)
             if task.wpass is not None:
                 slot, mb = task.wpass
-                expected = bwd_slot_held(self.rank, t, self.world)
-                if slot != expected:  # the flow loops every P turns
-                    raise AssertionError(
-                        f"schedule/flow mismatch: wpass slot {slot} but holding {expected}"
-                    )
+                # the flow loops every P turns
+                self._check_slot("wpass", slot, bwd_slot_held(self.rank, t, self.world))
                 self._w_pass_slot(it, slot, mb)
+            self.compute_s += pc() - c0
 
             self.comm.send(
                 self.fwd_slot, right, ("F", it, t + 1),
@@ -280,18 +391,98 @@ class _WeiPipeWorker:
             )
 
         # final hop brings every slot back to its home position.
+        t0 = pc()
         self.fwd_slot = self.comm.recv(left, ("F", it, total))
         self.bwd_slot = self.comm.recv(left, ("B", it, total))
         self.grad_slot = self.comm.recv(left, ("D", it, total))
+        self.wire_wait += pc() - t0
 
-        self._update_pass(it)
+    def _ring_turns_overlap(self, it: int, total: int, task_fn) -> None:
+        """Double-buffered engine: post next-turn receives and forward the
+        held W slots *before* computing, so the wire runs under compute.
 
-        losses = all_gather(self.comm, dict(self.losses_by_mb), tag=("wp-loss", it))
-        self.losses_by_mb.clear()
-        merged: Dict[int, float] = {}
-        for d in losses:
-            merged.update(d)
-        return sum(merged.values()) / self.spec.n_microbatches
+        Waits sit only at the consume points: F/B at the top of the next
+        turn, D just before the first gradient accumulation of this one.
+        Per-turn send order stays F, B, D — the same per-rank message
+        sequence as the sync engine, so traffic accounting and seeded
+        chaos decisions line up across both.
+        """
+        comm = self.comm
+        left, right = comm.left, comm.right
+        pc = perf_counter
+        nf = nb = nd = None  # posted receives for the next turn's slots
+        for t in range(total):
+            if t > 0:
+                t0 = pc()
+                self.fwd_slot = nf.wait()
+                self.bwd_slot = nb.wait()
+                self.wire_wait += pc() - t0
+            cur_d = nd
+            nxt = t + 1
+            nf = comm.irecv(left, ("F", it, nxt))
+            nb = comm.irecv(left, ("B", it, nxt))
+            nd = comm.irecv(left, ("D", it, nxt))
+            comm.isend(
+                self.fwd_slot, right, ("F", it, nxt),
+                nbytes=self._slot_nbytes(self.fwd_slot, self.w_wire),
+            )
+            comm.isend(
+                self.bwd_slot, right, ("B", it, nxt),
+                nbytes=self._slot_nbytes(self.bwd_slot, self.w_wire),
+            )
+
+            task: TurnTask = task_fn(self.rank, t)
+            if task.fwd is not None:
+                slot, mb = task.fwd
+                self._check_slot("fwd", slot, fwd_slot_held(self.rank, t, self.world))
+                c0 = pc()
+                self._forward_slot(it, slot, mb)
+                self.compute_s += pc() - c0
+            # Run the backward compute *before* waiting for the circulating
+            # accumulator: local weight grads only have to be summed into D
+            # after they exist, so the serial per-hop D chain carries just
+            # wire + accumulate + send instead of the whole backward.  The
+            # contributions are parked in _deferred meanwhile.
+            self._deferred = deferred = []
+            if task.bwd is not None:
+                slot, mb = task.bwd
+                self._check_slot("bwd", slot, bwd_slot_held(self.rank, t, self.world))
+                c0 = pc()
+                self._run_bwd(it, slot, mb)
+                self.compute_s += pc() - c0
+            if task.wpass is not None:
+                slot, mb = task.wpass
+                # the flow loops every P turns
+                self._check_slot("wpass", slot, bwd_slot_held(self.rank, t, self.world))
+                c0 = pc()
+                self._w_pass_slot(it, slot, mb)
+                self.compute_s += pc() - c0
+            if cur_d is not None:
+                # consume point of the circulating accumulator: its sender
+                # posts D only after finishing the turn that read the
+                # W slots it forwarded, so from here on those buffers (and
+                # this D) are exclusively ours to mutate.
+                t0 = pc()
+                self.grad_slot = cur_d.wait()
+                self.wire_wait += pc() - t0
+            self._deferred = None
+            if deferred:
+                c0 = pc()
+                for i, g in deferred:
+                    self._accumulate_grad(i, g)
+                self.compute_s += pc() - c0
+
+            comm.isend(
+                self.grad_slot, right, ("D", it, nxt),
+                nbytes=self._slot_nbytes(self.grad_slot, self.d_wire),
+            )
+
+        # final hop brings every slot back to its home position.
+        t0 = pc()
+        self.fwd_slot = nf.wait()
+        self.bwd_slot = nb.wait()
+        self.grad_slot = nd.wait()
+        self.wire_wait += pc() - t0
 
     # -- update pass ----------------------------------------------------------
 
@@ -314,11 +505,21 @@ class _WeiPipeWorker:
 
             dp = self.dp_comm.world_size
             for i, g in self.grad_slot.items():
+                buf = self._dp_flat.get(i)
+                if buf is None:
+                    dtype = g.common_dtype
+                    buf = self._dp_flat[i] = np.empty(
+                        g.numel, dtype=dtype if dtype is not None else np.float64
+                    )
                 flat = _all_reduce(
-                    self.dp_comm, g.pack(np.float64), tag=("wp-dp", it, i),
+                    self.dp_comm, g.pack_into(buf), tag=("wp-dp", it, i),
                     nbytes_per_element=self.d_wire,
                 )
-                self.grad_slot[i] = g.unpack_from(flat / dp)
+                flat /= dp
+                old = self.grad_slot[i]
+                self.grad_slot[i] = g.unpack_from(flat)
+                if old is not self.grad_slot[i]:
+                    self._release_slot({i: old})
 
         pre_update(
             self.spec, it, self.opt, list(self.grad_slot.values()),
@@ -329,17 +530,21 @@ class _WeiPipeWorker:
             self.grad_slot[i].zero_()
 
         target = fwd_home(self.owned_slot, self.world)
+        old_fwd = self.fwd_slot
         if target == self.rank:
-            self.fwd_slot = {i: w.clone() for i, w in self.bwd_slot.items()}
+            self.fwd_slot = {i: self._clone_chunk(w) for i, w in self.bwd_slot.items()}
         else:
             self.comm.send(
-                {i: w.clone() for i, w in self.bwd_slot.items()},
+                {i: self._clone_chunk(w) for i, w in self.bwd_slot.items()},
                 target,
                 ("inject", it),
                 nbytes=self._slot_nbytes(self.bwd_slot, self.w_wire),
             )
             source = slot_owner(self._initial_fwd_slot(), self.world)
             self.fwd_slot = self.comm.recv(source, ("inject", it))
+        # the retired forward-flow copy is sole-owned here (the final D
+        # wait proved its last reader finished) — recycle it.
+        self._release_slot(old_fwd)
 
 
 def weipipe_step(
@@ -349,6 +554,7 @@ def weipipe_step(
     chunks: List[ParamStruct],
     opt_states: List[Dict],
     mode: str = "interleave",
+    overlap: bool = True,
 ) -> Tuple[float, List[ParamStruct], List[Dict]]:
     """One WeiPipe iteration from explicit full (replicated) state.
 
@@ -369,7 +575,7 @@ def weipipe_step(
         initial_chunks=chunks,
         initial_opt_state=opt_states,
     )
-    w = _WeiPipeWorker(comm, step_spec, mode)
+    w = _WeiPipeWorker(comm, step_spec, mode, overlap=overlap)
     loss = w.run_iteration(0)
     if w.pending_w:  # pragma: no cover - invariant
         raise AssertionError("deferred W passes left undone at step boundary")
@@ -380,11 +586,15 @@ def weipipe_step(
         merged.update(d)
     new_chunks = [merged[i][0] for i in range(spec.cfg.n_layers)]
     new_states = [merged[i][1] for i in range(spec.cfg.n_layers)]
+    # the gather is a step-boundary barrier: the worker's fwd/grad slots
+    # have no readers left anywhere, so their buffers go back to the
+    # fabric's pool for the next step's worker.
+    w.release_buffers()
     return loss, new_chunks, new_states
 
 
-def _worker(comm: Communicator, spec: TrainSpec, mode: str) -> TrainResult:
-    w = _WeiPipeWorker(comm, spec, mode)
+def _worker(comm: Communicator, spec: TrainSpec, mode: str, overlap: bool) -> TrainResult:
+    w = _WeiPipeWorker(comm, spec, mode, overlap=overlap)
     losses = [w.run_iteration(it) for it in range(spec.iters)]
     # report final weights: gather every worker's owned (updated) slot.
     owned = {i: w.bwd_slot[i] for i in w.opt_states}
@@ -402,6 +612,9 @@ def _worker(comm: Communicator, spec: TrainSpec, mode: str) -> TrainResult:
             "rank": w.rank,
             "peak_inflight": w.peak_inflight,
             "peak_pending_w": w.peak_pending_w,
+            "wire_wait_s": w.wire_wait,
+            "compute_s": w.compute_s,
+            "pool_allocs_by_iter": list(w.pool_allocs_by_iter),
         },
     )
 
@@ -411,6 +624,7 @@ def train_weipipe(
     world_size: int,
     mode: str = "interleave",
     fabric: Optional[Fabric] = None,
+    overlap: bool = True,
 ) -> TrainResult:
     """Train with WeiPipe (``mode`` in {"interleave", "naive",
     "zero-bubble"}).
@@ -420,6 +634,11 @@ def train_weipipe(
     path, W passes deferred one ring revolution to when the slot's
     gradient accumulator next passes through.
 
+    ``overlap`` selects the ring engine: double-buffered nonblocking
+    turns with pooled arena buffers (default), or the synchronous
+    pre-overlap ring (the ``bench-overlap`` baseline).  Both are
+    bit-identical in results.
+
     Requires ``n_layers % world_size == 0`` and
     ``n_microbatches % world_size == 0`` (the paper's setting).
     """
@@ -427,12 +646,18 @@ def train_weipipe(
     if spec.n_microbatches % world_size != 0:
         raise ValueError("n_microbatches must be divisible by world_size")
     results = run_workers(
-        world_size, lambda comm: _worker(comm, spec, mode), fabric=fabric
+        world_size, lambda comm: _worker(comm, spec, mode, overlap), fabric=fabric
     )
     peaks = {r.extra["rank"]: r.extra["peak_inflight"] for r in results}
     pending = {r.extra["rank"]: r.extra["peak_pending_w"] for r in results}
     return TrainResult(
         losses=results[0].losses,
         chunks=results[0].chunks,
-        extra={"peak_inflight": peaks, "peak_pending_w": pending},
+        extra={
+            "peak_inflight": peaks,
+            "peak_pending_w": pending,
+            "wire_wait_s": {r.extra["rank"]: r.extra["wire_wait_s"] for r in results},
+            "compute_s": {r.extra["rank"]: r.extra["compute_s"] for r in results},
+            "pool_allocs_by_iter": results[0].extra["pool_allocs_by_iter"],
+        },
     )

@@ -1,0 +1,200 @@
+"""``bench-overlap``: the zero-copy ring's microbenchmark harness.
+
+Measures the double-buffered nonblocking ring engine (arena-backed
+weights, pooled buffers, posted receives — DESIGN.md §10) against the
+pre-overlap synchronous ring on the *same machine with the same seeds*,
+and emits one JSON artefact (``BENCH_overlap.json``) with:
+
+* tokens/s and wall-clock for both engines, and their ratio;
+* logical bytes moved and message counts (identical by construction —
+  the overlap engine changes *when* traffic happens, never *what*);
+* per-engine wire-wait vs compute seconds (summed over ranks) and the
+  derived overlap efficiency;
+* buffer-pool counters and the per-iteration allocation trace, whose
+  steady-state growth must be **zero** (the allocation-regression gate);
+* a bit-exactness verdict: both engines must produce identical losses.
+
+Two wires are measured:
+
+* the **reference wire** — a :class:`~repro.runtime.ChaosFabric` with a
+  seeded delay-only policy (no drops, no duplicates), emulating the
+  communication-bound links the paper targets.  Here the sync ring
+  exposes the full link delay on every hop of the serial gradient-ring
+  chain, while the overlap engine posts W transfers a turn early and
+  defers the D wait past the backward compute, so only
+  ``delay + accumulate`` remains on the chain;
+* a **zero-latency control** — the plain in-process fabric, where the
+  host is compute-bound and the honest headroom is only the per-turn
+  bookkeeping the arena/pool machinery removes.
+
+The in-process fabric runs every rank as a thread of one interpreter,
+so wall-clock on the control wire is pinned to total Python compute;
+the reference wire is where overlap structurally matters, exactly as on
+real clusters where WeiPipe's win grows with the comm/compute ratio.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Callable, Dict, Optional
+
+from ..nn import FP32, FP64, ModelConfig
+from ..nn.params import BufferPool
+from ..parallel.common import TrainSpec
+from ..runtime import ChaosFabric, ChaosPolicy, Fabric
+
+__all__ = ["SCHEMA", "REFERENCE_CONFIG", "run_overlap_comparison"]
+
+#: artefact schema tag — bump on any shape change (CI checks it).
+SCHEMA = "repro.bench_overlap/v1"
+
+#: the acceptance gate's reference configuration: a 2-worker interleave
+#: ring, 16 tiny layers, 16 microbatches, fp64 end to end, on a seeded
+#: 0-6 ms delay wire.
+REFERENCE_CONFIG: Dict = dict(
+    hidden=16,
+    n_layers=16,
+    n_heads=2,
+    seq_len=16,
+    vocab=16,
+    world=2,
+    n_microbatches=16,
+    microbatch_size=1,
+    iters=3,
+    seed=7,
+    mode="interleave",
+    precision="fp64",
+    link_delay_s=0.006,
+    chaos_seed=1,
+)
+
+
+def _measure(
+    spec: TrainSpec,
+    world: int,
+    mode: str,
+    overlap: bool,
+    make_fabric: Callable[[], Fabric],
+    reps: int,
+) -> Dict:
+    """Best-of-``reps`` wall clock for one engine on one wire."""
+    from ..core.weipipe import train_weipipe
+
+    best: Optional[Dict] = None
+    for _ in range(reps):
+        fabric = make_fabric()
+        t0 = perf_counter()
+        result = train_weipipe(spec, world, mode=mode, fabric=fabric, overlap=overlap)
+        wall = perf_counter() - t0
+        if best is None or wall < best["wall_s"]:
+            tokens = (
+                spec.iters
+                * spec.n_microbatches
+                * spec.microbatch_size
+                * spec.cfg.seq_len
+            )
+            pool = fabric.shared_pool(BufferPool) if overlap else None
+            allocs = result.extra["pool_allocs_by_iter"]
+            wire_wait = sum(result.extra["wire_wait_s"].values())
+            compute = sum(result.extra["compute_s"].values())
+            best = {
+                "wall_s": wall,
+                "tokens_per_s": tokens / wall,
+                "bytes_moved": fabric.stats.bytes_total,
+                "messages": fabric.stats.messages,
+                "wire_wait_s": wire_wait,
+                "compute_s": compute,
+                # rank-seconds stalled on the wire per rank-second of
+                # compute: the harness's overlap-efficiency measure
+                # (lower = the wire hides better under compute).
+                "wire_wait_per_compute": (wire_wait / compute) if compute else 0.0,
+                "pool": pool.as_dict() if pool is not None else None,
+                "pool_allocs_by_iter": list(allocs),
+                # fresh pool buffers acquired by the final iteration:
+                # must be 0 once warm (the allocation-regression gate).
+                "steady_state_allocs_per_iter": (
+                    allocs[-1] - allocs[-2] if len(allocs) >= 2 else None
+                ),
+                "losses": list(result.losses),
+            }
+    assert best is not None
+    return best
+
+
+def run_overlap_comparison(
+    hidden: int = 16,
+    n_layers: int = 16,
+    n_heads: int = 2,
+    seq_len: int = 16,
+    vocab: int = 16,
+    world: int = 2,
+    n_microbatches: int = 16,
+    microbatch_size: int = 1,
+    iters: int = 3,
+    seed: int = 7,
+    mode: str = "interleave",
+    precision: str = "fp64",
+    link_delay_s: float = 0.006,
+    chaos_seed: int = 1,
+    reps: int = 3,
+    zero_latency_control: bool = True,
+) -> Dict:
+    """Run the sync-vs-overlap comparison; return the JSON-ready report.
+
+    Defaults are :data:`REFERENCE_CONFIG`.  ``link_delay_s`` is the
+    reference wire's maximum per-message hold-back (uniform in
+    ``[0, link_delay_s]``, deterministic per message in ``chaos_seed``).
+    """
+    cfg = ModelConfig(
+        hidden=hidden, n_layers=n_layers, n_heads=n_heads,
+        seq_len=seq_len, vocab=vocab,
+    )
+    spec = TrainSpec(
+        cfg=cfg, n_microbatches=n_microbatches,
+        microbatch_size=microbatch_size, iters=iters, seed=seed,
+        precision={"fp32": FP32, "fp64": FP64}[precision],
+    )
+    policy = ChaosPolicy(
+        seed=chaos_seed, delay_prob=1.0, max_delay=link_delay_s,
+        drop_prob=0.0, duplicate_prob=0.0,
+    )
+
+    def delay_wire() -> Fabric:
+        return ChaosFabric(world, policy=policy, timeout=120.0)
+
+    report: Dict = {
+        "schema": SCHEMA,
+        "config": {
+            "hidden": hidden, "n_layers": n_layers, "n_heads": n_heads,
+            "seq_len": seq_len, "vocab": vocab, "world": world,
+            "n_microbatches": n_microbatches,
+            "microbatch_size": microbatch_size, "iters": iters,
+            "seed": seed, "mode": mode, "precision": precision, "reps": reps,
+        },
+        "wire": {
+            "kind": "seeded-delay",
+            "link_delay_s": link_delay_s,
+            "chaos_seed": chaos_seed,
+        },
+    }
+
+    sync = _measure(spec, world, mode, False, delay_wire, reps)
+    ovl = _measure(spec, world, mode, True, delay_wire, reps)
+    report["sync"] = sync
+    report["overlap"] = ovl
+    report["speedup_tokens_per_s"] = ovl["tokens_per_s"] / sync["tokens_per_s"]
+    report["losses_equal"] = sync["losses"] == ovl["losses"]
+    report["bytes_equal"] = sync["bytes_moved"] == ovl["bytes_moved"]
+
+    if zero_latency_control:
+        z_sync = _measure(spec, world, mode, False, lambda: Fabric(world), reps)
+        z_ovl = _measure(spec, world, mode, True, lambda: Fabric(world), reps)
+        report["zero_latency"] = {
+            "sync": z_sync,
+            "overlap": z_ovl,
+            "speedup_tokens_per_s": (
+                z_ovl["tokens_per_s"] / z_sync["tokens_per_s"]
+            ),
+            "losses_equal": z_sync["losses"] == z_ovl["losses"],
+        }
+    return report

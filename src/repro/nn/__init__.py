@@ -24,10 +24,11 @@ from .model import (
     model_param_count,
     rope_tables,
 )
-from .params import ParamStruct
+from .params import BufferPool, ParamStruct
 from .precision import FP32, FP64, MIXED, PrecisionPolicy
 
 __all__ = [
+    "BufferPool",
     "CheckpointedChunk",
     "ModelConfig",
     "ParamStruct",

@@ -6,15 +6,86 @@ workers.  :class:`ParamStruct` is the common currency: an ordered mapping
 ``name -> ndarray`` that can be packed to / unpacked from one flat
 vector with a stable layout, so every strategy exchanges exactly the
 bytes a real implementation would.
+
+Arena backing (DESIGN.md §10): a struct may additionally own one flat
+contiguous buffer — the *arena* — with every named array a view into
+it.  The arena **is** the packed wire representation, so ``pack()`` /
+``unpack_from()`` degrade from O(numel) concatenations to O(1) view
+handoffs, and a :class:`BufferPool` recycles arenas across ring turns so
+the steady-state hot path allocates nothing.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+import threading
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["ParamStruct"]
+__all__ = ["ParamStruct", "BufferPool"]
+
+
+class BufferPool:
+    """Thread-safe free-list of flat buffers, keyed by ``(numel, dtype)``.
+
+    ``acquire`` hands out a recycled 1-D buffer when one of the exact
+    size/dtype is free, else allocates (a *miss* — ``allocations`` counts
+    these).  ``release`` returns a buffer to the free list.
+
+    Ownership contract: a buffer handed to ``release`` must have no live
+    readers or writers — in the weight ring that is guaranteed by the
+    turn protocol (a slot's D message only arrives after its sender
+    finished computing with the slots it forwarded, see DESIGN.md §10),
+    not by the pool itself.  The pool never zeroes recycled memory;
+    callers that need zeros must clear explicitly.
+    """
+
+    __slots__ = ("_lock", "_free", "hits", "misses", "releases", "bytes_allocated")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._free: Dict[Tuple[int, np.dtype], List[np.ndarray]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.releases = 0
+        self.bytes_allocated = 0
+
+    @property
+    def allocations(self) -> int:
+        """Fresh buffers created so far (== cache misses)."""
+        return self.misses
+
+    def acquire(self, numel: int, dtype) -> np.ndarray:
+        key = (int(numel), np.dtype(dtype))
+        with self._lock:
+            stack = self._free.get(key)
+            if stack:
+                self.hits += 1
+                return stack.pop()
+            self.misses += 1
+            self.bytes_allocated += key[0] * key[1].itemsize
+        return np.empty(key[0], dtype=key[1])
+
+    def release(self, buf: np.ndarray) -> None:
+        flat = buf.reshape(-1)
+        with self._lock:
+            self._free.setdefault((int(flat.size), flat.dtype), []).append(flat)
+            self.releases += 1
+
+    def as_dict(self) -> Dict[str, int]:
+        with self._lock:
+            free = sum(len(v) for v in self._free.values())
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "allocations": self.misses,
+            "releases": self.releases,
+            "bytes_allocated": self.bytes_allocated,
+            "free_buffers": free,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BufferPool({self.as_dict()})"
 
 
 class ParamStruct:
@@ -23,12 +94,34 @@ class ParamStruct:
     Supports elementwise arithmetic (used for gradient accumulation and
     optimizer updates), flat packing (used for ring messages and
     sharding) and structural cloning.
+
+    A struct may be *arena-backed* (see :meth:`to_arena`): all arrays are
+    then views into one contiguous flat buffer, making ``pack`` and flat
+    arithmetic O(1)/single-op.  Rebinding a name to a different array
+    (``ps[k] = new``) silently drops the arena — correctness is kept,
+    only the fast path is lost; in-place writes (``ps[k][...] = x``,
+    ``ps[k] += g``) keep it.
     """
 
-    __slots__ = ("_data",)
+    __slots__ = ("_data", "_arena", "_layout")
 
     def __init__(self, data: Dict[str, np.ndarray] | None = None):
         self._data: Dict[str, np.ndarray] = dict(data or {})
+        self._arena: Optional[np.ndarray] = None
+        self._layout: Optional[Tuple] = None
+
+    @classmethod
+    def _from_parts(
+        cls,
+        data: Dict[str, np.ndarray],
+        arena: Optional[np.ndarray],
+        layout: Optional[Tuple],
+    ) -> "ParamStruct":
+        ps = cls.__new__(cls)
+        ps._data = data
+        ps._arena = arena
+        ps._layout = layout
+        return ps
 
     # -- mapping protocol ---------------------------------------------------
 
@@ -36,6 +129,11 @@ class ParamStruct:
         return self._data[name]
 
     def __setitem__(self, name: str, value: np.ndarray) -> None:
+        if self._data.get(name) is not value:
+            # a name now points outside the arena (or the key set grew):
+            # the flat layout no longer covers this struct.
+            self._arena = None
+            self._layout = None
         self._data[name] = value
 
     def __contains__(self, name: str) -> bool:
@@ -58,23 +156,99 @@ class ParamStruct:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         inner = ", ".join(f"{k}:{tuple(v.shape)}" for k, v in self._data.items())
-        return f"ParamStruct({inner})"
+        tag = ", arena" if self._arena is not None else ""
+        return f"ParamStruct({inner}{tag})"
 
     # -- structure ----------------------------------------------------------
 
     @property
     def numel(self) -> int:
         """Total number of scalar elements across all arrays."""
+        if self._arena is not None:
+            return int(self._arena.size)
         return sum(int(v.size) for v in self._data.values())
 
     def nbytes(self, bytes_per_element: int) -> int:
         """Logical message size if elements were stored at the given width."""
         return self.numel * bytes_per_element
 
-    def clone(self) -> "ParamStruct":
+    @property
+    def arena(self) -> Optional[np.ndarray]:
+        """The backing flat buffer, or ``None`` when not arena-backed."""
+        return self._arena
+
+    @property
+    def common_dtype(self) -> Optional[np.dtype]:
+        """The shared dtype of all arrays, or ``None`` if they differ."""
+        vals = iter(self._data.values())
+        first = next(vals, None)
+        if first is None:
+            return None
+        dt = first.dtype
+        for v in vals:
+            if v.dtype != dt:
+                return None
+        return dt
+
+    def _layout_key(self) -> Tuple:
+        lk = self._layout
+        if lk is None:
+            lk = self._layout = tuple(
+                (k, v.shape) for k, v in self._data.items()
+            )
+        return lk
+
+    def _arena_views(
+        self, buf: np.ndarray
+    ) -> Dict[str, np.ndarray]:
+        out: Dict[str, np.ndarray] = {}
+        offset = 0
+        for k, v in self._data.items():
+            n = int(v.size)
+            out[k] = buf[offset : offset + n].reshape(v.shape)
+            offset += n
+        return out
+
+    def to_arena(self, pool: Optional[BufferPool] = None) -> "ParamStruct":
+        """Copy into an arena-backed struct (one contiguous buffer).
+
+        Requires a uniform dtype across arrays.  With ``pool`` the buffer
+        is recycled from / accounted in the pool.
+        """
+        dtype = self.common_dtype
+        if dtype is None:
+            raise TypeError(
+                "to_arena requires a uniform dtype across all arrays"
+            )
+        n = self.numel
+        buf = pool.acquire(n, dtype) if pool is not None else np.empty(n, dtype=dtype)
+        views = self._arena_views(buf)
+        for k, v in self._data.items():
+            np.copyto(views[k], v)
+        return ParamStruct._from_parts(views, buf, self._layout_key())
+
+    def clone(self, pool: Optional[BufferPool] = None) -> "ParamStruct":
+        if pool is not None:
+            return self.to_arena(pool)
+        if self._arena is not None:
+            buf = self._arena.copy()
+            return ParamStruct._from_parts(
+                self._arena_views(buf), buf, self._layout_key()
+            )
         return ParamStruct({k: v.copy() for k, v in self._data.items()})
 
-    def zeros_like(self) -> "ParamStruct":
+    def zeros_like(self, pool: Optional[BufferPool] = None) -> "ParamStruct":
+        dtype = self.common_dtype
+        if dtype is not None and (pool is not None or self._arena is not None):
+            n = self.numel
+            if pool is not None:
+                buf = pool.acquire(n, dtype)
+                buf[...] = 0.0
+            else:
+                buf = np.zeros(n, dtype=dtype)
+            return ParamStruct._from_parts(
+                self._arena_views(buf), buf, self._layout_key()
+            )
         return ParamStruct(
             {k: np.zeros_like(v) for k, v in self._data.items()}
         )
@@ -92,18 +266,36 @@ class ParamStruct:
 
     def add_(self, other: "ParamStruct", scale: float = 1.0) -> "ParamStruct":
         """In-place ``self += scale * other`` (matching keys required)."""
-        if self.keys() != other.keys():
+        a, b = self._arena, other._arena
+        if (
+            a is not None
+            and b is not None
+            and a.dtype == b.dtype
+            and self._layout_key() == other._layout_key()
+        ):
+            if scale == 1.0:
+                a += b
+            else:
+                a += scale * b
+            return self
+        if self._data.keys() != other._data.keys():
             raise KeyError("ParamStruct key mismatch in add_")
-        for k in self._data:
-            self._data[k] += scale * other[k]
+        for k, v in self._data.items():
+            v += scale * other._data[k]
         return self
 
     def scale_(self, scale: float) -> "ParamStruct":
+        if self._arena is not None:
+            self._arena *= scale
+            return self
         for k in self._data:
             self._data[k] *= scale
         return self
 
     def zero_(self) -> "ParamStruct":
+        if self._arena is not None:
+            self._arena[...] = 0.0
+            return self
         for k in self._data:
             self._data[k][...] = 0.0
         return self
@@ -111,18 +303,59 @@ class ParamStruct:
     # -- flat packing -------------------------------------------------------
 
     def pack(self, dtype=np.float32) -> np.ndarray:
-        """Concatenate all arrays (in key order) into one flat vector."""
+        """All arrays (in key order) as one flat vector.
+
+        Arena-backed structs return the arena itself when the dtype
+        matches — zero copies; treat the result as **read-only** (or
+        consumed by :meth:`unpack_from`), since it aliases this struct's
+        storage.  Otherwise falls back to an allocating concatenation.
+        """
+        if self._arena is not None and self._arena.dtype == np.dtype(dtype):
+            return self._arena
         if not self._data:
             return np.zeros(0, dtype=dtype)
         return np.concatenate(
             [v.reshape(-1).astype(dtype, copy=False) for v in self._data.values()]
         )
 
+    def pack_into(self, out: np.ndarray) -> np.ndarray:
+        """Pack into a caller-provided flat buffer (no allocation)."""
+        if out.size != self.numel:
+            raise ValueError(
+                f"out buffer has {out.size} elements, expected {self.numel}"
+            )
+        flat = out.reshape(-1)
+        if self._arena is not None and self._arena.dtype == flat.dtype:
+            np.copyto(flat, self._arena)
+            return out
+        offset = 0
+        for v in self._data.values():
+            n = int(v.size)
+            flat[offset : offset + n] = v.reshape(-1)
+            offset += n
+        return out
+
     def unpack_from(self, flat: np.ndarray) -> "ParamStruct":
-        """Fill a structural copy of ``self`` from a flat vector."""
+        """A structural copy of ``self`` filled from a flat vector.
+
+        When ``flat`` is 1-D, contiguous and already of every array's
+        dtype, the result is arena-backed *on ``flat`` itself* (zero
+        copies) — the caller hands over ownership of ``flat``.  Otherwise
+        the values are copied out, as before.
+        """
         if flat.size != self.numel:
             raise ValueError(
                 f"flat buffer has {flat.size} elements, expected {self.numel}"
+            )
+        dtype = self.common_dtype
+        if (
+            dtype is not None
+            and flat.ndim == 1
+            and flat.dtype == dtype
+            and flat.flags.c_contiguous
+        ):
+            return ParamStruct._from_parts(
+                self._arena_views(flat), flat, self._layout_key()
             )
         out: Dict[str, np.ndarray] = {}
         offset = 0

@@ -30,6 +30,7 @@ __all__ = [
     "bf16_round",
     "fp16_round",
     "dtype_bytes",
+    "is_exact",
     "PrecisionPolicy",
     "FP32",
     "FP64",
@@ -84,6 +85,21 @@ def quantize(x: np.ndarray, fmt: str) -> np.ndarray:
     except KeyError:
         raise ValueError(f"unknown precision format {fmt!r}") from None
     return fn(x)
+
+
+#: formats whose quantiser is the identity on arrays of the listed dtype.
+_EXACT_DTYPES = {"fp32": np.dtype(np.float32), "fp64": np.dtype(np.float64)}
+
+
+def is_exact(fmt: str, dtype) -> bool:
+    """True when quantising to ``fmt`` is a no-op for arrays of ``dtype``.
+
+    The hot paths use this to skip identity round trips entirely (e.g.
+    fp64 gradients under the FP64 policy) instead of paying a struct
+    rebuild per ring turn.
+    """
+    want = _EXACT_DTYPES.get(fmt)
+    return want is not None and np.dtype(dtype) == want
 
 
 def dtype_bytes(fmt: str) -> int:

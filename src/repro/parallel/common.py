@@ -29,6 +29,7 @@ __all__ = [
     "TrainResult",
     "microbatch",
     "quantize_grads",
+    "quantize_grads_",
     "init_opt_states",
 ]
 
@@ -145,6 +146,16 @@ def quantize_grads(grads: ParamStruct, policy: PrecisionPolicy) -> ParamStruct:
     """Quantise weight gradients to their wire format (paper: fp16 ``D``)."""
     q = policy.q_weight_grad
     return grads.map(lambda a: q(a).astype(a.dtype, copy=False))
+
+
+def quantize_grads_(grads: ParamStruct, policy: PrecisionPolicy) -> ParamStruct:
+    """In-place variant of :func:`quantize_grads` — same values, zero
+    struct churn.  The overlap hot path (DESIGN.md §10) uses this so the
+    circulating D keeps its arena across ring turns."""
+    q = policy.q_weight_grad
+    for a in grads.values():
+        a[...] = q(a)
+    return grads
 
 
 def pre_update(

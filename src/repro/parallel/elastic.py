@@ -127,9 +127,15 @@ def _compute_fn(strategy: str, spec: TrainSpec) -> _ComputeFn:
     if strategy in _WEIPIPE_MODES:
         from ..core.weipipe import weipipe_step
 
+        # the overlap engine (double-buffered nonblocking ring, pooled
+        # arenas) is bit-identical to the sync one, so elastic recovery
+        # gets the fast path too: abandoned posted receives from a failed
+        # step can never cross-match a retry because every step runs in
+        # its own ("compute", global_step) tag namespace inside the
+        # recovery epoch's namespace.
         mode = _WEIPIPE_MODES[strategy]
         return lambda csub, it, st: weipipe_step(
-            csub, spec, it, st.chunks, st.opt_state, mode=mode
+            csub, spec, it, st.chunks, st.opt_state, mode=mode, overlap=True
         )
     raise ValueError(
         f"strategy {strategy!r} has no elastic step engine; "

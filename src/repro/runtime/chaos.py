@@ -43,11 +43,11 @@ import heapq
 import itertools
 import zlib
 from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .communicator import Fabric, RecvTimeout, _now
+from .communicator import Fabric, _now
 from .message import Message
 
 __all__ = ["ChaosPolicy", "ChaosStats", "ChaosCrash", "ChaosFabric"]
@@ -239,6 +239,7 @@ class ChaosFabric(Fabric):
             while nxt in pending:
                 m = pending.pop(nxt)
                 self._mail[m.dst][(m.src, m.tag)].append(m)
+                self._drain_locked((m.dst, m.src, m.tag))
                 nxt += 1
                 delivered += 1
             self._chan_next[chan] = nxt
@@ -247,34 +248,12 @@ class ChaosFabric(Fabric):
             self._cond.notify_all()
         return delivered
 
-    # -- delivery-aware blocking ----------------------------------------------
+    # -- delivery-aware blocking hooks -----------------------------------------
+    # take/poll/irecv themselves come from Fabric: its blocking loop calls
+    # _pump_locked before matching and _next_event_locked to bound waits.
 
-    def take(self, dst: int, src: int, tag: Tuple, timeout: Optional[float]) -> Any:
-        limit = timeout if timeout is not None else self.timeout
-        start = _now()
-        deadline = start + limit
-        with self._cond:
-            queue = self._mail[dst][(src, tag)]
-            while True:
-                self._check_disturbed(dst)
-                self._pump_locked()
-                if queue:
-                    return queue.popleft().payload
-                now = _now()
-                if now >= deadline:
-                    raise RecvTimeout(
-                        f"rank {dst} timed out waiting for msg from rank "
-                        f"{src} tag={tag} after {now - start:.3f}s "
-                        f"(timeout {limit}s under chaos seed "
-                        f"{self.policy.seed}; likely a schedule deadlock)"
-                    )
-                wait_for = deadline - now
-                if self._limbo:
-                    # wake when the earliest in-flight message lands
-                    wait_for = min(wait_for, max(self._limbo[0][0] - now, 0.0) + 1e-4)
-                self._cond.wait(timeout=wait_for)
+    def _next_event_locked(self) -> Optional[float]:
+        return self._limbo[0][0] if self._limbo else None
 
-    def poll(self, dst: int, src: int, tag: Tuple) -> bool:
-        with self._cond:
-            self._pump_locked()
-            return bool(self._mail[dst][(src, tag)])
+    def _timeout_context(self) -> str:
+        return f" under chaos seed {self.policy.seed}"

@@ -9,7 +9,12 @@ uses for weight prefetching.
 Semantics:
 
 * sends are buffered and never block (NCCL eager-ish; matches the
-  paper's asynchronous prefetch usage),
+  paper's asynchronous prefetch usage); ``isend`` returns an
+  already-complete handle for API symmetry,
+* ``irecv`` *posts* a receive: the handle claims the next matching
+  message the moment it is delivered (MPI posted-receive semantics), so
+  handles on one ``(src, tag)`` channel complete in posting order no
+  matter in which order they are waited,
 * ``recv`` blocks until a message with the exact ``(src, tag)`` key is
   available; a configurable timeout turns silent deadlocks — the classic
   pipeline-schedule bug — into loud errors naming the blocked rank,
@@ -91,6 +96,11 @@ class Fabric:
         self._fail_epoch = 0
         self._ack_epoch: Dict[int, int] = {}
         self._progress: Dict[int, int] = {}
+        # posted receives: (dst, src, tag) -> FIFO of unfulfilled handles.
+        # Delivery drains mailbox messages into posted handles in posting
+        # order, so out-of-order waits cannot steal each other's message.
+        self._posted: Dict[Tuple[int, int, Tuple], Deque["_RecvHandle"]] = {}
+        self._shared_pool: Any = None
         self.stats = TrafficStats()
 
     # -- internal ------------------------------------------------------------
@@ -111,6 +121,43 @@ class Fabric:
         if self._failed and self._ack_epoch.get(rank, 0) < self._fail_epoch:
             raise PeerFailed({r: v for r, v in self._failed.items() if r != rank})
 
+    # hooks the chaos wire overrides -------------------------------------------
+
+    def _pump_locked(self) -> int:
+        """Move in-flight wire state into mailboxes (caller holds lock).
+
+        The plain fabric delivers at ``post`` time, so there is nothing
+        to pump; :class:`~repro.runtime.chaos.ChaosFabric` overrides this
+        to land due limbo messages.
+        """
+        return 0
+
+    def _next_event_locked(self) -> Optional[float]:
+        """Monotonic time of the next wire event, or ``None`` (used to
+        bound condition waits so delayed deliveries wake blocked
+        receivers promptly)."""
+        return None
+
+    def _timeout_context(self) -> str:
+        """Extra text for RecvTimeout messages (chaos names its seed)."""
+        return ""
+
+    # -- delivery --------------------------------------------------------------
+
+    def _drain_locked(self, key: Tuple[int, int, Tuple]) -> None:
+        """Fulfil posted receives on ``key`` from its mailbox, in posting
+        order (caller holds lock)."""
+        posted = self._posted.get(key)
+        if not posted:
+            return
+        queue = self._mail[key[0]][(key[1], key[2])]
+        while posted and queue:
+            h = posted.popleft()
+            h._value = queue.popleft().payload
+            h._done = True
+        if not posted:
+            del self._posted[key]
+
     def post(self, msg: Message) -> None:
         self._check_rank(msg.src)
         self._check_rank(msg.dst)
@@ -118,37 +165,112 @@ class Fabric:
             self._check_disturbed(msg.src)
             self._mail[msg.dst][(msg.src, msg.tag)].append(msg)
             self.stats.record(msg)
+            self._drain_locked((msg.dst, msg.src, msg.tag))
             self._cond.notify_all()
 
-    def take(self, dst: int, src: int, tag: Tuple, timeout: Optional[float]) -> Any:
+    def _post_recv_locked(self, dst: int, src: int, tag: Tuple) -> "_RecvHandle":
+        # failure/abort checks come before consuming available messages
+        # so survivors are interrupted promptly even when stale pre-crash
+        # traffic is still queued.
+        self._check_disturbed(dst)
+        h = _RecvHandle(self, dst, src, tag)
+        key = (dst, src, tag)
+        self._posted.setdefault(key, deque()).append(h)
+        self._pump_locked()
+        self._drain_locked(key)
+        return h
+
+    def post_recv(self, dst: int, src: int, tag: Tuple) -> "_RecvHandle":
+        """Post a receive: the returned handle owns the next matching
+        message not claimed by an earlier posted receive."""
+        self._check_rank(dst)
+        self._check_rank(src)
+        with self._cond:
+            return self._post_recv_locked(dst, src, tag)
+
+    def _cancel_locked(self, h: "_RecvHandle") -> None:
+        posted = self._posted.get((h._dst, h._src, h._tag))
+        if posted is not None:
+            try:
+                posted.remove(h)
+            except ValueError:
+                pass
+            if not posted:
+                del self._posted[(h._dst, h._src, h._tag)]
+
+    def _wait_locked(self, h: "_RecvHandle", timeout: Optional[float]) -> Any:
         limit = timeout if timeout is not None else self.timeout
         start = _now()
         deadline = start + limit
-        with self._cond:
-            queue = self._mail[dst][(src, tag)]
-            while True:
-                # failure/abort checks come before consuming available
-                # messages so survivors are interrupted promptly even
-                # when stale pre-crash traffic is still queued.
-                self._check_disturbed(dst)
-                if queue:
-                    return queue.popleft().payload
+        while True:
+            if h._done:
+                return h._value
+            try:
+                self._check_disturbed(h._dst)
+                self._pump_locked()
+                self._drain_locked((h._dst, h._src, h._tag))
+                if h._done:
+                    return h._value
                 # re-derive the budget from the deadline each pass: spurious
                 # wakeups (notify_all for a different channel) must neither
                 # shrink the budget below zero nor hand Condition.wait a
                 # negative timeout.
-                remaining = deadline - _now()
-                if remaining <= 0:
+                now = _now()
+                if now >= deadline:
                     raise RecvTimeout(
-                        f"rank {dst} timed out waiting for msg from rank "
-                        f"{src} tag={tag} after {_now() - start:.3f}s "
-                        f"(timeout {limit}s; likely a schedule deadlock)"
+                        f"rank {h._dst} timed out waiting for msg from rank "
+                        f"{h._src} tag={h._tag} after {now - start:.3f}s "
+                        f"(timeout {limit}s{self._timeout_context()}; "
+                        f"likely a schedule deadlock)"
                     )
-                self._cond.wait(timeout=remaining)
+                wait_for = deadline - now
+                nxt = self._next_event_locked()
+                if nxt is not None:
+                    # wake when the earliest in-flight message lands
+                    wait_for = min(wait_for, max(nxt - now, 0.0) + 1e-4)
+                self._cond.wait(timeout=wait_for)
+            except BaseException:
+                # an abandoned posted receive must not swallow a later
+                # message on its channel: unpost before propagating.
+                self._cancel_locked(h)
+                raise
+
+    def wait_handle(self, h: "_RecvHandle", timeout: Optional[float]) -> Any:
+        with self._cond:
+            return self._wait_locked(h, timeout)
+
+    def test_handle(self, h: "_RecvHandle") -> bool:
+        with self._cond:
+            if not h._done:
+                self._pump_locked()
+                self._drain_locked((h._dst, h._src, h._tag))
+            return h._done
+
+    def take(self, dst: int, src: int, tag: Tuple, timeout: Optional[float]) -> Any:
+        self._check_rank(dst)
+        self._check_rank(src)
+        with self._cond:
+            h = self._post_recv_locked(dst, src, tag)
+            return self._wait_locked(h, timeout)
 
     def poll(self, dst: int, src: int, tag: Tuple) -> bool:
-        with self._lock:
+        """True when an *unclaimed* matching message is deliverable now
+        (messages already claimed by posted receives don't count)."""
+        with self._cond:
+            self._pump_locked()
+            self._drain_locked((dst, src, tag))
             return bool(self._mail[dst][(src, tag)])
+
+    def shared_pool(self, factory) -> Any:
+        """The fabric-wide buffer pool, lazily created by ``factory()``.
+
+        All ranks of one fabric share it, so a buffer released by one
+        worker is recycled by its neighbour — exactly the lifecycle of a
+        circulating weight slot."""
+        with self._lock:
+            if self._shared_pool is None:
+                self._shared_pool = factory()
+            return self._shared_pool
 
     def abort(self, reason: str) -> None:
         with self._cond:
@@ -207,7 +329,14 @@ def _now() -> float:
 
 
 class _RecvHandle:
-    """Handle returned by :meth:`Communicator.irecv`."""
+    """A posted receive (returned by :meth:`Communicator.irecv`).
+
+    Posted handles on one ``(src, tag)`` channel are fulfilled in the
+    order they were posted, regardless of the order they are waited —
+    MPI's posted-receive matching rule.  A handle abandoned by a raising
+    ``wait`` (timeout, peer failure, abort) is unposted so it cannot
+    swallow a later message.
+    """
 
     __slots__ = ("_fabric", "_dst", "_src", "_tag", "_done", "_value")
 
@@ -220,13 +349,43 @@ class _RecvHandle:
         self._value = None
 
     def wait(self, timeout: Optional[float] = None) -> Any:
-        if not self._done:
-            self._value = self._fabric.take(self._dst, self._src, self._tag, timeout)
-            self._done = True
-        return self._value
+        # lock-free fast path: in the steady-state ring the message was
+        # drained into the handle during the sender's post, so the hot
+        # loop never touches the fabric lock here.
+        if self._done:
+            return self._value
+        return self._fabric.wait_handle(self, timeout)
 
-    def ready(self) -> bool:
-        return self._done or self._fabric.poll(self._dst, self._src, self._tag)
+    def test(self) -> bool:
+        """Non-blocking completion check (never raises)."""
+        if self._done:
+            return True
+        return self._fabric.test_handle(self)
+
+    # historical name, kept for callers written against the peek API.
+    ready = test
+
+
+class _SendHandle:
+    """Handle returned by :meth:`Communicator.isend`.
+
+    Sends are buffered and complete at post time, so the handle exists
+    purely for MPI-style call symmetry (`wait`/`test` are trivial).
+    """
+
+    __slots__ = ()
+
+    def wait(self, timeout: Optional[float] = None) -> None:
+        return None
+
+    def test(self) -> bool:
+        return True
+
+    ready = test
+
+
+#: all buffered sends share one completed handle.
+_SEND_DONE = _SendHandle()
 
 
 class Communicator:
@@ -267,17 +426,26 @@ class Communicator:
             )
         )
 
-    # buffered sends make isend identical to send; kept for API parity with
-    # the paper's batch_isend_irecv usage.
-    isend = send
+    def isend(
+        self, payload: Any, dst: int, tag: Tuple = (), nbytes: Optional[int] = None
+    ) -> _SendHandle:
+        """Non-blocking send (buffered, so it completes at post time);
+        returns a trivially-complete handle for batch_isend_irecv-style
+        call sites."""
+        self.send(payload, dst, tag, nbytes=nbytes)
+        return _SEND_DONE
 
     def recv(self, src: int, tag: Tuple = (), timeout: Optional[float] = None) -> Any:
         """Blocking receive of the matching (src, tag) message."""
         return self.fabric.take(self.rank, src, tag, timeout)
 
     def irecv(self, src: int, tag: Tuple = ()) -> _RecvHandle:
-        """Non-blocking receive; call ``.wait()`` on the handle."""
-        return _RecvHandle(self.fabric, self.rank, src, tag)
+        """Post a non-blocking receive; call ``.wait()`` on the handle.
+
+        The receive is matched against the channel's FIFO stream at post
+        time, so several outstanding ``irecv`` on the same ``(src, tag)``
+        complete in posting order."""
+        return self.fabric.post_recv(self.rank, src, tag)
 
     def sendrecv(
         self,

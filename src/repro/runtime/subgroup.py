@@ -57,7 +57,10 @@ class SubCommunicator(Communicator):
     def send(self, payload, dst: int, tag: Tuple = (), nbytes: Optional[int] = None) -> None:
         self._parent.send(payload, self._ranks[dst], self._tag(tag), nbytes=nbytes)
 
-    isend = send
+    def isend(self, payload, dst: int, tag: Tuple = (), nbytes=None):
+        return self._parent.isend(
+            payload, self._ranks[dst], self._tag(tag), nbytes=nbytes
+        )
 
     def recv(self, src: int, tag: Tuple = (), timeout: Optional[float] = None):
         return self._parent.recv(self._ranks[src], self._tag(tag), timeout=timeout)

@@ -22,6 +22,7 @@ __all__ = [
     "bubble_ratio_weipipe_naive",
     "ideal_iteration_time",
     "weipipe_turn_bandwidth",
+    "weipipe_turn_time",
     "activation_pp_bandwidth",
 ]
 
@@ -91,6 +92,27 @@ def weipipe_turn_bandwidth(
     per_turn_bytes = 2 * cost.weight_chunk_bytes(lps) + cost.wgrad_chunk_bytes(lps)
     turn_time = lps * (cost.t_fwd_layer() + cost.t_bwd_layer())
     return per_turn_bytes / turn_time
+
+
+def weipipe_turn_time(
+    dims: WorkloadDims, cluster: Cluster, exec_cfg: ExecConfig = ExecConfig()
+) -> float:
+    """Steady-state WeiPipe-Interleave turn time under the exec config's
+    overlap mode.
+
+    A turn computes one forward and one backward slot (``L/P`` layers
+    each) while the ring moves ``2 W + 1 D`` chunks over every link; the
+    slowest ring link paces the wire leg.  With ``overlap=True`` the
+    transfers are posted before the compute and the turn costs
+    ``max(compute, wire)`` (:meth:`CostModel.overlapped`); with
+    ``overlap=False`` (blocking send/recv at each turn boundary) the
+    legs serialise."""
+    cost = CostModel(dims, cluster.gpu, exec_cfg)
+    lps = dims.n_layers // cluster.world_size
+    compute = lps * (cost.t_fwd_layer() + cost.t_bwd_layer())
+    per_turn_bytes = 2 * cost.weight_chunk_bytes(lps) + cost.wgrad_chunk_bytes(lps)
+    wire = max(link.time(per_turn_bytes) for link in cluster.ring_links())
+    return cost.overlapped(compute, wire)
 
 
 def activation_pp_bandwidth(

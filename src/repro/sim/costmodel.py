@@ -161,6 +161,17 @@ class CostModel:
         """W half of a decoupled backward (weight grads)."""
         return self.t_fwd_layer()
 
+    def overlapped(self, compute: float, comm: float) -> float:
+        """Combine a turn's compute and wire legs per the exec config.
+
+        Overlapping transports (``batch_isend_irecv`` posted before the
+        compute, the double-buffered runtime ring) hide the shorter leg:
+        the turn costs ``max(compute, comm)``.  Blocking transports
+        serialise the legs: ``compute + comm``."""
+        if self.cfg.overlap:
+            return max(compute, comm)
+        return compute + comm
+
     # -- message sizes -----------------------------------------------------------
 
     def act_message_bytes(self) -> int:

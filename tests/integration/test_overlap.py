@@ -1,0 +1,96 @@
+"""The double-buffered overlap engine vs the synchronous ring.
+
+Bit-exactness is the contract (ISSUE: the overlap engine changes *when*
+communication happens, never *what* is computed), and the buffer pool
+must reach a steady state where whole iterations run without acquiring
+a single fresh buffer (the allocation-regression gate).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.weipipe import train_weipipe
+from repro.nn import FP32, FP64, ModelConfig
+from repro.parallel.common import TrainSpec
+from repro.runtime import ChaosFabric, ChaosPolicy, Fabric
+
+MODES = ["naive", "interleave", "zero-bubble"]
+
+
+def _assert_identical(chunks_a, chunks_b):
+    for a, b in zip(chunks_a, chunks_b):
+        assert a.max_abs_diff(b) == 0.0
+
+
+def _spec(precision=FP64, iters=2, nmb=4):
+    cfg = ModelConfig(hidden=8, n_layers=8, n_heads=2, seq_len=8, vocab=16)
+    return TrainSpec(
+        cfg=cfg, n_microbatches=nmb, microbatch_size=2, iters=iters,
+        seed=3, precision=precision,
+    )
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("precision", [FP32, FP64], ids=["fp32", "fp64"])
+    def test_overlap_equals_sync(self, mode, precision):
+        spec = _spec(precision=precision)
+        sync = train_weipipe(spec, 4, mode=mode, fabric=Fabric(4), overlap=False)
+        ovl = train_weipipe(spec, 4, mode=mode, fabric=Fabric(4), overlap=True)
+        assert sync.losses == ovl.losses
+        _assert_identical(sync.chunks, ovl.chunks)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_overlap_equals_sync_under_chaos(self, mode):
+        policy = ChaosPolicy(seed=5)
+        spec = _spec()
+        sync = train_weipipe(
+            spec, 4, mode=mode,
+            fabric=ChaosFabric(4, policy=policy, timeout=60.0), overlap=False,
+        )
+        ovl = train_weipipe(
+            spec, 4, mode=mode,
+            fabric=ChaosFabric(4, policy=policy, timeout=60.0), overlap=True,
+        )
+        assert sync.losses == ovl.losses
+        _assert_identical(sync.chunks, ovl.chunks)
+
+    def test_overlap_traffic_matches_sync(self):
+        """Same logical messages and bytes on both engines."""
+        spec = _spec()
+        f_sync, f_ovl = Fabric(4), Fabric(4)
+        train_weipipe(spec, 4, mode="interleave", fabric=f_sync, overlap=False)
+        train_weipipe(spec, 4, mode="interleave", fabric=f_ovl, overlap=True)
+        assert f_sync.stats.messages == f_ovl.stats.messages
+        assert f_sync.stats.bytes_total == f_ovl.stats.bytes_total
+        assert f_sync.stats.by_kind == f_ovl.stats.by_kind
+
+
+class TestAllocationRegression:
+    def test_steady_state_allocations_are_zero(self):
+        """After the warmup iteration the pool must satisfy every weight
+        buffer from its free list: the allocation counter stops moving."""
+        spec = _spec(iters=5)
+        fab = Fabric(4)
+        result = train_weipipe(spec, 4, mode="interleave", fabric=fab, overlap=True)
+        allocs = result.extra["pool_allocs_by_iter"]
+        assert len(allocs) == 5
+        assert allocs[0] > 0  # warmup actually allocated
+        # steady state: no new buffers in any post-warmup iteration
+        assert allocs[1:] == [allocs[0]] * 4, allocs
+
+    def test_sync_engine_reports_no_pool(self):
+        spec = _spec(iters=2)
+        result = train_weipipe(
+            spec, 4, mode="interleave", fabric=Fabric(4), overlap=False
+        )
+        assert result.extra["pool_allocs_by_iter"] == []
+
+    def test_wire_wait_telemetry_present(self):
+        spec = _spec(iters=2)
+        result = train_weipipe(
+            spec, 4, mode="interleave", fabric=Fabric(4), overlap=True
+        )
+        assert set(result.extra["wire_wait_s"]) == {0, 1, 2, 3}
+        assert all(v >= 0.0 for v in result.extra["wire_wait_s"].values())
+        assert all(v > 0.0 for v in result.extra["compute_s"].values())

@@ -122,3 +122,141 @@ class TestComparison:
     def test_max_abs_diff_mismatch_raises(self):
         with pytest.raises(KeyError):
             ParamStruct({"x": np.ones(1)}).max_abs_diff(ParamStruct({"y": np.ones(1)}))
+
+
+class TestArena:
+    def test_to_arena_views_one_buffer(self):
+        p = _struct([(2, 3), (4,), (2, 2)]).to_arena()
+        arena = p.arena
+        assert arena is not None and arena.ndim == 1
+        assert arena.size == p.numel
+        for v in p.values():
+            assert v.base is arena or v.base is arena.base
+        # mutating a view mutates the arena (and vice versa)
+        p["p0"][...] = 7.0
+        assert np.all(arena[:6] == 7.0)
+
+    def test_to_arena_preserves_values_and_layout(self):
+        a = _struct([(3, 2), (5,)])
+        b = a.to_arena()
+        assert a.keys() == b.keys()
+        assert a.max_abs_diff(b) == 0.0
+        assert b.common_dtype == np.float64
+
+    def test_to_arena_rejects_mixed_dtypes(self):
+        p = ParamStruct({
+            "a": np.zeros(2, dtype=np.float64),
+            "b": np.zeros(2, dtype=np.float32),
+        })
+        with pytest.raises(TypeError):
+            p.to_arena()
+
+    def test_pack_is_zero_copy_for_arena_struct(self):
+        p = _struct([(2, 2), (3,)]).to_arena()
+        flat = p.pack(np.float64)
+        assert flat is p.arena  # the arena itself, no concatenate
+
+    def test_unpack_from_is_zero_copy_on_contiguous_flat(self):
+        p = _struct([(2, 2), (3,)])
+        flat = p.pack(np.float64)
+        q = p.unpack_from(flat)
+        assert q.arena is not None
+        for v in q.values():
+            assert v.base is flat or v.base is flat.base
+        assert p.max_abs_diff(q) == 0.0
+
+    def test_pack_into_fills_caller_buffer(self):
+        p = _struct([(2, 2), (3,)])
+        out = np.empty(p.numel, dtype=np.float64)
+        got = p.pack_into(out)
+        assert got is out
+        np.testing.assert_array_equal(out, p.pack(np.float64))
+        arena_p = p.to_arena()
+        out2 = np.empty(p.numel, dtype=np.float64)
+        np.testing.assert_array_equal(arena_p.pack_into(out2), out)
+
+    def test_setitem_rebinding_detaches_arena(self):
+        p = _struct([(2,), (3,)]).to_arena()
+        p["p0"] = np.ones(2)
+        assert p.arena is None  # rebound array no longer lives in the arena
+        assert np.all(p["p0"] == 1.0)
+
+    def test_setitem_same_object_keeps_arena(self):
+        """Augmented in-place assignment (params[k] -= x) must not detach."""
+        p = _struct([(2,), (3,)]).to_arena()
+        p["p0"] -= 0.5  # __setitem__ with the identical array object
+        assert p.arena is not None
+
+    def test_arena_fast_ops_match_legacy(self):
+        rng = np.random.default_rng(1)
+        a_legacy = _struct([(3, 2), (4,)], np.random.default_rng(2))
+        b_legacy = _struct([(3, 2), (4,)], np.random.default_rng(3))
+        a_arena = a_legacy.clone().to_arena()
+        b_arena = b_legacy.clone().to_arena()
+        a_legacy.add_(b_legacy, scale=0.25)
+        a_arena.add_(b_arena, scale=0.25)
+        assert a_legacy.max_abs_diff(a_arena) == 0.0
+        a_legacy.scale_(0.5)
+        a_arena.scale_(0.5)
+        assert a_legacy.max_abs_diff(a_arena) == 0.0
+        a_legacy.zero_()
+        a_arena.zero_()
+        assert a_legacy.max_abs_diff(a_arena) == 0.0
+
+    def test_clone_of_arena_struct_is_deep_and_arena_backed(self):
+        p = _struct([(2, 2)]).to_arena()
+        q = p.clone()
+        assert q.arena is not None and q.arena is not p.arena
+        q["p0"][...] = 9.0
+        assert p.max_abs_diff(q) != 0.0
+
+
+class TestBufferPool:
+    def test_acquire_release_reuses_buffers(self):
+        from repro.nn.params import BufferPool
+
+        pool = BufferPool()
+        a = pool.acquire(8, np.float64)
+        assert pool.misses == 1 and pool.hits == 0
+        pool.release(a)
+        b = pool.acquire(8, np.float64)
+        assert np.shares_memory(a, b)  # recycled storage
+        assert pool.hits == 1 and pool.allocations == 1
+
+    def test_acquire_matches_size_and_dtype(self):
+        from repro.nn.params import BufferPool
+
+        pool = BufferPool()
+        a = pool.acquire(8, np.float64)
+        pool.release(a)
+        # different numel or dtype must not reuse the freed buffer
+        b = pool.acquire(4, np.float64)
+        c = pool.acquire(8, np.float32)
+        assert pool.misses == 3 and pool.hits == 0
+        assert b.size == 4 and c.dtype == np.float32
+
+    def test_stats_dict(self):
+        from repro.nn.params import BufferPool
+
+        pool = BufferPool()
+        pool.release(pool.acquire(4, np.float64))
+        d = pool.as_dict()
+        assert d["allocations"] == 1
+        assert d["releases"] == 1
+        assert d["free_buffers"] == 1
+        assert d["bytes_allocated"] == 32
+
+    def test_to_arena_and_zeros_like_draw_from_pool(self):
+        from repro.nn.params import BufferPool
+
+        pool = BufferPool()
+        p = _struct([(2, 3)]).to_arena(pool)
+        assert pool.allocations == 1
+        z = p.zeros_like(pool)
+        assert pool.allocations == 2
+        assert z.arena is not None and float(z.arena.sum()) == 0.0
+        pool.release(p.arena)
+        pool.release(z.arena)
+        q = _struct([(2, 3)]).to_arena(pool)
+        assert pool.allocations == 2 and pool.hits == 1
+        assert q.arena is not None

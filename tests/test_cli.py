@@ -228,3 +228,39 @@ class TestHybridCLI:
                 "--heads", "2", "--seq", "8", "--vocab", "17",
                 "--microbatches", "4",
             ])
+
+
+class TestBenchOverlapCLI:
+    def test_smoke_writes_schema_tagged_json(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "BENCH_overlap.json"
+        rc = main([
+            "bench-overlap", "--world", "2", "--layers", "4", "--hidden", "8",
+            "--heads", "2", "--seq", "8", "--vocab", "16",
+            "--microbatches", "4", "--iters", "2", "--reps", "1",
+            "--link-delay", "0.0005", "--out", str(out),
+        ])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == "repro.bench_overlap/v1"
+        assert report["losses_equal"] is True
+        assert report["bytes_equal"] is True
+        assert report["overlap"]["steady_state_allocs_per_iter"] == 0
+        assert report["overlap"]["tokens_per_s"] > 0
+        assert report["zero_latency"]["losses_equal"] is True
+        printed = capsys.readouterr().out
+        assert "speedup" in printed and "losses bit-equal    : True" in printed
+
+    def test_no_control_skips_zero_latency(self, tmp_path):
+        import json
+
+        out = tmp_path / "b.json"
+        rc = main([
+            "bench-overlap", "--world", "2", "--layers", "2", "--hidden", "8",
+            "--heads", "2", "--seq", "8", "--vocab", "16",
+            "--microbatches", "2", "--iters", "2", "--reps", "1",
+            "--link-delay", "0.0", "--no-control", "--out", str(out),
+        ])
+        assert rc == 0
+        assert "zero_latency" not in json.loads(out.read_text())
