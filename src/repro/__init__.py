@@ -15,6 +15,7 @@ from .io import (
 )
 from .nn import FP32, FP64, MIXED, ModelConfig, ParamStruct, PrecisionPolicy
 from .nn.generate import generate, perplexity
+from .obs import MetricsRegistry, Tracer, analyze_trace, load_trace
 from .optim import SGD, Adam, AdamW, MasterWeightOptimizer
 from .parallel import ELASTIC_STRATEGIES, TrainResult, TrainSpec, train_elastic
 from .runtime import ChaosFabric, ChaosPolicy, PeerFailed
@@ -43,12 +44,16 @@ __all__ = [
     "save_checkpoint",
     "MIXED",
     "MasterWeightOptimizer",
+    "MetricsRegistry",
     "ModelConfig",
     "ParamStruct",
     "PrecisionPolicy",
     "SGD",
     "TrainResult",
     "TrainSpec",
+    "Tracer",
+    "analyze_trace",
+    "load_trace",
     "run_crash_recovery",
     "run_differential",
     "strategy_names",

@@ -11,6 +11,10 @@ Commands:
 * ``table`` — regenerate paper Table 2, 3 or 4;
 * ``figure`` — regenerate paper Figure 6, 7, 8 or 9;
 * ``timeline`` — render a schedule as an ASCII Gantt chart;
+* ``trace`` — run a small traced training job and write a Chrome
+  trace-event JSON (Perfetto / ``chrome://tracing``), printing the
+  analyzer's measured bubble ratio, overlap fraction, per-turn chunk
+  accounting and cost-model reconciliation;
 * ``chaos-sweep`` — differential equivalence sweep: every strategy vs
   serial on a seeded chaos fabric; a failing seed is reported and
   ``--seed-start S --seeds 1`` replays exactly that adversary;
@@ -18,6 +22,12 @@ Commands:
   injection, let the survivors shrink the ring and finish, and verify
   the continuation bit-for-bit against a clean run from the rollback
   snapshot.
+
+``train``, ``bench-overlap`` and ``chaos-sweep`` accept ``--trace PATH``
+(write a Chrome trace of the run) and ``--metrics-out PATH`` (dump the
+run's :class:`~repro.obs.MetricsRegistry` as JSON).  Tracing is opt-in;
+without the flags the observability layer stays in its null, zero-cost
+configuration.
 
 ``train`` additionally supports durable fault-tolerant runs:
 ``--checkpoint-every N`` writes atomic, checksummed checkpoints from the
@@ -86,6 +96,47 @@ def build_parser() -> argparse.ArgumentParser:
              "the strategy matches the one that saved it, weights-only "
              "(fresh optimizer) otherwise",
     )
+    _add_obs_flags(p_train)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a small traced training job and write a Chrome trace "
+             "(open in Perfetto or chrome://tracing)",
+    )
+    p_trace.add_argument(
+        "strategy", nargs="?", default="weipipe-interleave",
+        help="functional strategy to trace (see `repro strategies`)",
+    )
+    p_trace.add_argument("--world", type=int, default=4)
+    p_trace.add_argument("--hidden", type=int, default=32)
+    p_trace.add_argument("--layers", type=int, default=4)
+    p_trace.add_argument("--heads", type=int, default=4)
+    p_trace.add_argument("--seq", type=int, default=32)
+    p_trace.add_argument("--vocab", type=int, default=64)
+    p_trace.add_argument("--iters", type=int, default=2)
+    p_trace.add_argument("--microbatches", type=int, default=8)
+    p_trace.add_argument("--microbatch-size", type=int, default=2)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--recompute", action="store_true")
+    p_trace.add_argument(
+        "--out", default="trace.json", help="Chrome trace output path"
+    )
+    p_trace.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="also write the compact JSONL event stream here",
+    )
+    p_trace.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="dump the run's metrics registry as JSON",
+    )
+    p_trace.add_argument(
+        "--analysis-out", default=None, metavar="PATH",
+        help="dump the analyzer + reconciliation report as JSON",
+    )
+    p_trace.add_argument(
+        "--no-analyze", action="store_true",
+        help="only record and dump the trace; skip the analyzer",
+    )
 
     p_sim = sub.add_parser("simulate", help="price one workload on a cluster")
     p_sim.add_argument("--strategy", default="weipipe-interleave")
@@ -144,6 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet-wire", action="store_true",
         help="disable all fault injection (control run on a clean wire)",
     )
+    _add_obs_flags(p_ch)
 
     p_cr = sub.add_parser(
         "crash-recovery",
@@ -213,6 +265,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="BENCH_overlap.json",
         help="path of the JSON artefact",
     )
+    _add_obs_flags(p_bo)
 
     p_tl = sub.add_parser("timeline", help="render a schedule timeline")
     p_tl.add_argument(
@@ -226,6 +279,80 @@ def build_parser() -> argparse.ArgumentParser:
     p_tl.add_argument("--microbatches", type=int, default=8)
     p_tl.add_argument("--width", type=int, default=96)
     return parser
+
+
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace", default=None, metavar="PATH", dest="trace_out",
+        help="record a Chrome trace of the run and write it here "
+             "(open in Perfetto or chrome://tracing)",
+    )
+    p.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="dump the run's metrics registry as JSON",
+    )
+
+
+def _trace_metadata(strategy: str, world: int, spec, overlap: bool = True) -> dict:
+    """Trace metadata the analyzer needs to reconcile against the cost
+    model (``repro.obs.analyze.reconcile``)."""
+    cfg = spec.cfg
+    return {
+        "strategy": strategy,
+        "world": world,
+        "recompute": spec.recompute,
+        "overlap": overlap,
+        "iters": spec.iters,
+        "dims": {
+            "hidden": cfg.hidden, "n_layers": cfg.n_layers,
+            "seq_len": cfg.seq_len, "microbatch": spec.microbatch_size,
+            "n_microbatches": spec.n_microbatches,
+            "n_heads": cfg.n_heads, "vocab": cfg.vocab,
+        },
+    }
+
+
+def _print_analysis(analysis: dict, reconciliation: Optional[dict]) -> None:
+    s = analysis["summary"]
+    cp = analysis["critical_path"]
+    print(f"ranks               : {s['ranks']}")
+    print(f"bubble ratio        : {s['bubble_ratio_mean']:.3f} mean, "
+          f"{s['bubble_ratio_max']:.3f} max (measured)")
+    print(f"idle-turn fraction  : {s['idle_turn_fraction_mean']:.3f}")
+    print(f"overlap fraction    : {s['overlap_fraction_mean']:.3f} "
+          "(wire waits hidden under peers' compute)")
+    print(f"critical path       : rank {cp['rank']}  "
+          f"wall {cp['wall_s'] * 1e3:.1f} ms = "
+          f"compute {cp['compute_s'] * 1e3:.1f} + "
+          f"wire {cp['wire_wait_s'] * 1e3:.1f} + "
+          f"collective {cp['collective_s'] * 1e3:.1f} + "
+          f"other {cp['other_s'] * 1e3:.1f}")
+    pt = analysis.get("per_turn")
+    if pt is not None:
+        verdict = "2W+1D" if pt["uniform_2w_1d"] else "NON-UNIFORM"
+        print(f"per-turn traffic    : {verdict} over {pt['turns_observed']} "
+              f"(rank, iter, turn) groups")
+    if reconciliation is not None:
+        w = reconciliation["iteration_wall"]
+        print(f"cost model (wall)   : predicted {w['predicted_s'] * 1e3:.1f} ms, "
+              f"measured {w['measured_s'] * 1e3:.1f} ms "
+              f"(ratio {w['ratio']:.2f}, tol {w['tolerance_factor']:.0f}x: "
+              f"{'OK' if w['within_tolerance'] else 'OUT OF TOLERANCE'})")
+        bf = reconciliation.get("b_over_f")
+        if bf is not None:
+            print(f"cost model (B/F)    : predicted {bf['predicted']:.2f}, "
+                  f"measured {bf['measured']:.2f} "
+                  f"({'OK' if bf['within_tolerance'] else 'OUT OF TOLERANCE'})")
+
+
+def _dump_obs(fabric, tracer, args) -> None:
+    """Write the --trace / --metrics-out artefacts a command recorded."""
+    if tracer is not None and args.trace_out is not None:
+        tracer.dump(args.trace_out)
+        print(f"[trace written to {args.trace_out}]")
+    if args.metrics_out is not None and fabric is not None:
+        fabric.metrics.dump(args.metrics_out)
+        print(f"[metrics written to {args.metrics_out}]")
 
 
 def _cmd_strategies() -> int:
@@ -320,27 +447,100 @@ def _cmd_train(args) -> int:
             },
         )
 
+    fabric = None
+    tracer = None
+    if args.trace_out is not None or args.metrics_out is not None:
+        from .obs import Tracer
+        from .runtime import Fabric
+
+        if args.trace_out is not None:
+            tracer = Tracer(
+                metadata=_trace_metadata(args.strategy, args.world, spec)
+            )
+        fabric = Fabric(args.world, tracer=tracer)
+
     if args.dp > 1:
         if args.strategy != "weipipe-interleave":
             raise SystemExit("--dp > 1 requires --strategy weipipe-interleave")
         from .core.hybrid import train_weipipe_dp
 
         result = train_weipipe_dp(
-            spec, ring_size=args.world // args.dp, dp_degree=args.dp
+            spec, ring_size=args.world // args.dp, dp_degree=args.dp,
+            fabric=fabric,
         )
     elif durable and args.strategy in ELASTIC_STRATEGIES:
         result = train_elastic(
-            spec, args.strategy, args.world,
+            spec, args.strategy, args.world, fabric=fabric,
             on_commit=on_commit if args.checkpoint_every is not None else None,
         )
     else:
-        result = train(spec, args.strategy, args.world)
+        result = train(spec, args.strategy, args.world, fabric=fabric)
     print(f"strategy={args.strategy} world={args.world} dp={args.dp} "
           f"model={sum(c.numel for c in spec.init_chunks()):,} params")
     for i, loss in enumerate(result.losses):
         print(f"iter {spec.start_iteration + i:>4}: loss {loss:.6f}")
     if args.checkpoint_every is not None:
         print(f"checkpoint written to {args.checkpoint_path}")
+    _dump_obs(fabric, tracer, args)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from . import FP64, ModelConfig, TrainSpec, train
+    from .obs import Tracer, analyze_trace, reconcile, validate_chrome_trace
+    from .runtime import Fabric
+
+    cfg = ModelConfig(
+        hidden=args.hidden, n_layers=args.layers, n_heads=args.heads,
+        seq_len=args.seq, vocab=args.vocab,
+    )
+    spec = TrainSpec(
+        cfg=cfg, n_microbatches=args.microbatches,
+        microbatch_size=args.microbatch_size, iters=args.iters,
+        seed=args.seed, precision=FP64, recompute=args.recompute,
+    )
+    tracer = Tracer(metadata=_trace_metadata(args.strategy, args.world, spec))
+    fabric = Fabric(args.world, tracer=tracer)
+    try:
+        train(spec, args.strategy, args.world, fabric=fabric)
+    except ValueError as e:
+        raise SystemExit(str(e)) from None
+
+    doc = tracer.chrome_trace()
+    problems = validate_chrome_trace(doc)
+    if problems:  # pragma: no cover - exporter bug guard
+        for p in problems:
+            print(f"schema error: {p}", file=sys.stderr)
+        return 1
+    tracer.dump(args.out)
+    if args.jsonl is not None:
+        tracer.dump_jsonl(args.jsonl)
+    if args.metrics_out is not None:
+        fabric.metrics.dump(args.metrics_out)
+
+    print(f"strategy={args.strategy} world={args.world} "
+          f"events={len(doc['traceEvents'])}")
+    print(f"[trace written to {args.out} — open in Perfetto or "
+          "chrome://tracing]")
+    if args.no_analyze:
+        return 0
+    analysis = analyze_trace(doc)
+    reconciliation = None
+    try:
+        reconciliation = reconcile(doc, analysis)
+    except ValueError as e:
+        print(f"reconciliation skipped: {e}")
+    _print_analysis(analysis, reconciliation)
+    if args.analysis_out is not None:
+        with open(args.analysis_out, "w") as f:
+            json.dump(
+                {"analysis": analysis, "reconciliation": reconciliation},
+                f, indent=2, sort_keys=True,
+            )
+            f.write("\n")
+        print(f"[analysis written to {args.analysis_out}]")
     return 0
 
 
@@ -427,15 +627,42 @@ def _cmd_chaos_sweep(args) -> int:
         }
     seeds = range(args.seed_start, args.seed_start + args.seeds)
 
+    tracer = None
+    metrics = None
+    fabric_factory = None
+    if args.trace_out is not None or args.metrics_out is not None:
+        from .obs import MetricsRegistry, Tracer
+        from .runtime import ChaosFabric as _CF
+
+        metrics = MetricsRegistry()
+        if args.trace_out is not None:
+            # one shared tracer: every sweep point's rank-r events land
+            # on the same pid-r timeline, in sweep order.
+            tracer = Tracer(metadata={
+                "command": "chaos-sweep", "seeds": list(seeds),
+                "strategies": sorted(strategies),
+            })
+
+        def fabric_factory(world, pol):
+            return _CF(world, pol, tracer=tracer, metrics=metrics)
+
     def progress(name: str, seed: int, failure: Optional[str]) -> None:
         status = "PASS" if failure is None else f"FAIL ({failure})"
         print(f"seed {seed:>4}  {name:<20} {status}")
 
     report = run_differential(
         strategies=strategies, chaos_seeds=seeds, spec=spec, policy=policy,
-        progress=progress,
+        fabric_factory=fabric_factory, progress=progress,
     )
     print(report.summary())
+    if tracer is not None and args.trace_out is not None:
+        tracer.dump(args.trace_out)
+        print(f"[trace written to {args.trace_out}]")
+    if metrics is not None and args.metrics_out is not None:
+        metrics.dump(args.metrics_out)
+        injected = metrics.total("chaos_injections_total", label="fault")
+        print(f"[metrics written to {args.metrics_out}; "
+              f"injections: {injected}]")
     return 0 if report.ok else 1
 
 
@@ -472,6 +699,7 @@ def _cmd_bench_overlap(args) -> int:
         seed=args.seed, mode=args.mode, precision=args.precision,
         link_delay_s=args.link_delay, chaos_seed=args.chaos_seed,
         reps=args.reps, zero_latency_control=not args.no_control,
+        trace_path=args.trace_out, metrics_path=args.metrics_out,
     )
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)
@@ -498,6 +726,10 @@ def _cmd_bench_overlap(args) -> int:
           "new buffers/iteration after warmup")
     print(f"losses bit-equal    : {report['losses_equal']}")
     print(f"[saved to {args.out}]")
+    if "trace_path" in report:
+        print(f"[trace written to {report['trace_path']}]")
+    if "metrics_path" in report:
+        print(f"[metrics written to {report['metrics_path']}]")
     if not report["losses_equal"]:
         return 1
     if ovl["steady_state_allocs_per_iter"] != 0:
@@ -534,6 +766,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "strategies": lambda: _cmd_strategies(),
         "train": lambda: _cmd_train(args),
+        "trace": lambda: _cmd_trace(args),
         "simulate": lambda: _cmd_simulate(args),
         "table": lambda: _cmd_table(args),
         "figure": lambda: _cmd_figure(args),

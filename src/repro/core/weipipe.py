@@ -163,9 +163,15 @@ class _WeiPipeWorker:
         # B pass and its deferred W pass one ring revolution later.
         self.pending_w: Dict[tuple, tuple] = {}
         self.peak_pending_w = 0
-        # overlap telemetry (seconds / counter snapshots per iteration).
-        self.wire_wait = 0.0
-        self.compute_s = 0.0
+        # telemetry: this rank's timeline buffer plus wire-wait/compute
+        # histograms and turn counters on the fabric's metrics registry.
+        # Handles carry a rank label, so each has exactly one writer.
+        self.trace = comm.trace
+        m = comm.fabric.metrics
+        self._h_wire = m.histogram("weipipe_wire_wait_seconds", rank=self.rank)
+        self._h_compute = m.histogram("weipipe_compute_seconds", rank=self.rank)
+        self._m_turns = m.counter("weipipe_turns_total", rank=self.rank)
+        self._m_idle_turns = m.counter("weipipe_idle_turns_total", rank=self.rank)
         self.pool_allocs_by_iter: List[int] = []
         # hybrid mode: chunk id -> preallocated all-reduce pack buffer.
         self._dp_flat: Dict[int, np.ndarray] = {}
@@ -320,6 +326,16 @@ class _WeiPipeWorker:
     # -- the turn loop -----------------------------------------------------------
 
     def run_iteration(self, it: int) -> float:
+        if not self.trace.enabled:
+            return self._run_iteration(it)
+        t0 = perf_counter()
+        loss = self._run_iteration(it)
+        self.trace.complete(
+            "iteration", "iteration", t0, perf_counter() - t0, {"it": it}
+        )
+        return loss
+
+    def _run_iteration(self, it: int) -> float:
         if self.mode == "interleave":
             total, task_fn = interleave_schedule(self.world, self.spec.n_microbatches)
         elif self.mode == "naive":
@@ -334,7 +350,12 @@ class _WeiPipeWorker:
         else:
             self._ring_turns_sync(it, total, task_fn)
 
+        u0 = perf_counter()
         self._update_pass(it)
+        if self.trace.enabled:
+            self.trace.complete(
+                "update", "compute", u0, perf_counter() - u0, {"it": it}
+            )
 
         losses = all_gather(self.comm, dict(self.losses_by_mb), tag=("wp-loss", it))
         self.losses_by_mb.clear()
@@ -343,6 +364,12 @@ class _WeiPipeWorker:
             # for this iteration is complete, so the counter is a clean
             # per-iteration snapshot for the allocation-regression gate.
             self.pool_allocs_by_iter.append(self.pool.allocations)
+            pool = self.pool.as_dict()
+            m = self.comm.fabric.metrics
+            for key in ("allocations", "hits", "misses"):
+                m.gauge(f"pool_{key}").set(pool[key])
+            if self.trace.enabled:
+                self.trace.counter("pool_allocations", pool["allocations"])
         merged: Dict[int, float] = {}
         for d in losses:
             merged.update(d)
@@ -352,30 +379,52 @@ class _WeiPipeWorker:
         """Pre-overlap engine: blocking recv, compute, send, every turn."""
         left, right = self.comm.left, self.comm.right
         pc = perf_counter
+        tr = self.trace
+        traced = tr.enabled
         for t in range(total):
+            tt0 = pc()
             if t > 0:
                 t0 = pc()
                 self.fwd_slot = self.comm.recv(left, ("F", it, t))
                 self.bwd_slot = self.comm.recv(left, ("B", it, t))
                 self.grad_slot = self.comm.recv(left, ("D", it, t))
-                self.wire_wait += pc() - t0
+                dt = pc() - t0
+                self._h_wire.observe(dt)
+                if traced:
+                    tr.complete("wait:slots", "wire", t0, dt, {"turn": t})
 
             task: TurnTask = task_fn(self.rank, t)
-            c0 = pc()
             if task.fwd is not None:
                 slot, mb = task.fwd
                 self._check_slot("fwd", slot, fwd_slot_held(self.rank, t, self.world))
+                c0 = pc()
                 self._forward_slot(it, slot, mb)
+                dt = pc() - c0
+                self._h_compute.observe(dt)
+                if traced:
+                    tr.complete("F", "compute", c0, dt,
+                                {"turn": t, "slot": slot, "mb": mb})
             if task.bwd is not None:
                 slot, mb = task.bwd
                 self._check_slot("bwd", slot, bwd_slot_held(self.rank, t, self.world))
+                c0 = pc()
                 self._run_bwd(it, slot, mb)
+                dt = pc() - c0
+                self._h_compute.observe(dt)
+                if traced:
+                    tr.complete("B", "compute", c0, dt,
+                                {"turn": t, "slot": slot, "mb": mb})
             if task.wpass is not None:
                 slot, mb = task.wpass
                 # the flow loops every P turns
                 self._check_slot("wpass", slot, bwd_slot_held(self.rank, t, self.world))
+                c0 = pc()
                 self._w_pass_slot(it, slot, mb)
-            self.compute_s += pc() - c0
+                dt = pc() - c0
+                self._h_compute.observe(dt)
+                if traced:
+                    tr.complete("W", "compute", c0, dt,
+                                {"turn": t, "slot": slot, "mb": mb})
 
             self.comm.send(
                 self.fwd_slot, right, ("F", it, t + 1),
@@ -389,13 +438,22 @@ class _WeiPipeWorker:
                 self.grad_slot, right, ("D", it, t + 1),
                 nbytes=self._slot_nbytes(self.grad_slot, self.d_wire),
             )
+            self._m_turns.add(1)
+            if task.idle:
+                self._m_idle_turns.add(1)
+            if traced:
+                tr.complete("turn", "turn", tt0, pc() - tt0,
+                            {"turn": t, "idle": task.idle})
 
         # final hop brings every slot back to its home position.
         t0 = pc()
         self.fwd_slot = self.comm.recv(left, ("F", it, total))
         self.bwd_slot = self.comm.recv(left, ("B", it, total))
         self.grad_slot = self.comm.recv(left, ("D", it, total))
-        self.wire_wait += pc() - t0
+        dt = pc() - t0
+        self._h_wire.observe(dt)
+        if traced:
+            tr.complete("wait:slots", "wire", t0, dt, {"turn": total})
 
     def _ring_turns_overlap(self, it: int, total: int, task_fn) -> None:
         """Double-buffered engine: post next-turn receives and forward the
@@ -410,13 +468,19 @@ class _WeiPipeWorker:
         comm = self.comm
         left, right = comm.left, comm.right
         pc = perf_counter
+        tr = self.trace
+        traced = tr.enabled
         nf = nb = nd = None  # posted receives for the next turn's slots
         for t in range(total):
+            tt0 = pc()
             if t > 0:
                 t0 = pc()
                 self.fwd_slot = nf.wait()
                 self.bwd_slot = nb.wait()
-                self.wire_wait += pc() - t0
+                dt = pc() - t0
+                self._h_wire.observe(dt)
+                if traced:
+                    tr.complete("wait:slots", "wire", t0, dt, {"turn": t})
             cur_d = nd
             nxt = t + 1
             nf = comm.irecv(left, ("F", it, nxt))
@@ -437,7 +501,11 @@ class _WeiPipeWorker:
                 self._check_slot("fwd", slot, fwd_slot_held(self.rank, t, self.world))
                 c0 = pc()
                 self._forward_slot(it, slot, mb)
-                self.compute_s += pc() - c0
+                dt = pc() - c0
+                self._h_compute.observe(dt)
+                if traced:
+                    tr.complete("F", "compute", c0, dt,
+                                {"turn": t, "slot": slot, "mb": mb})
             # Run the backward compute *before* waiting for the circulating
             # accumulator: local weight grads only have to be summed into D
             # after they exist, so the serial per-hop D chain carries just
@@ -449,14 +517,22 @@ class _WeiPipeWorker:
                 self._check_slot("bwd", slot, bwd_slot_held(self.rank, t, self.world))
                 c0 = pc()
                 self._run_bwd(it, slot, mb)
-                self.compute_s += pc() - c0
+                dt = pc() - c0
+                self._h_compute.observe(dt)
+                if traced:
+                    tr.complete("B", "compute", c0, dt,
+                                {"turn": t, "slot": slot, "mb": mb})
             if task.wpass is not None:
                 slot, mb = task.wpass
                 # the flow loops every P turns
                 self._check_slot("wpass", slot, bwd_slot_held(self.rank, t, self.world))
                 c0 = pc()
                 self._w_pass_slot(it, slot, mb)
-                self.compute_s += pc() - c0
+                dt = pc() - c0
+                self._h_compute.observe(dt)
+                if traced:
+                    tr.complete("W", "compute", c0, dt,
+                                {"turn": t, "slot": slot, "mb": mb})
             if cur_d is not None:
                 # consume point of the circulating accumulator: its sender
                 # posts D only after finishing the turn that read the
@@ -464,25 +540,40 @@ class _WeiPipeWorker:
                 # this D) are exclusively ours to mutate.
                 t0 = pc()
                 self.grad_slot = cur_d.wait()
-                self.wire_wait += pc() - t0
+                dt = pc() - t0
+                self._h_wire.observe(dt)
+                if traced:
+                    tr.complete("wait:D", "wire", t0, dt, {"turn": t})
             self._deferred = None
             if deferred:
                 c0 = pc()
                 for i, g in deferred:
                     self._accumulate_grad(i, g)
-                self.compute_s += pc() - c0
+                dt = pc() - c0
+                self._h_compute.observe(dt)
+                if traced:
+                    tr.complete("accum", "compute", c0, dt, {"turn": t})
 
             comm.isend(
                 self.grad_slot, right, ("D", it, nxt),
                 nbytes=self._slot_nbytes(self.grad_slot, self.d_wire),
             )
+            self._m_turns.add(1)
+            if task.idle:
+                self._m_idle_turns.add(1)
+            if traced:
+                tr.complete("turn", "turn", tt0, pc() - tt0,
+                            {"turn": t, "idle": task.idle})
 
         # final hop brings every slot back to its home position.
         t0 = pc()
         self.fwd_slot = nf.wait()
         self.bwd_slot = nb.wait()
         self.grad_slot = nd.wait()
-        self.wire_wait += pc() - t0
+        dt = pc() - t0
+        self._h_wire.observe(dt)
+        if traced:
+            tr.complete("wait:slots", "wire", t0, dt, {"turn": total})
 
     # -- update pass ----------------------------------------------------------
 
@@ -612,8 +703,9 @@ def _worker(comm: Communicator, spec: TrainSpec, mode: str, overlap: bool) -> Tr
             "rank": w.rank,
             "peak_inflight": w.peak_inflight,
             "peak_pending_w": w.peak_pending_w,
-            "wire_wait_s": w.wire_wait,
-            "compute_s": w.compute_s,
+            # back-compat totals; the registry histograms are canonical.
+            "wire_wait_s": w._h_wire.total,
+            "compute_s": w._h_compute.total,
             "pool_allocs_by_iter": list(w.pool_allocs_by_iter),
         },
     )

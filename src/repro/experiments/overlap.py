@@ -138,12 +138,19 @@ def run_overlap_comparison(
     chaos_seed: int = 1,
     reps: int = 3,
     zero_latency_control: bool = True,
+    trace_path: Optional[str] = None,
+    metrics_path: Optional[str] = None,
 ) -> Dict:
     """Run the sync-vs-overlap comparison; return the JSON-ready report.
 
     Defaults are :data:`REFERENCE_CONFIG`.  ``link_delay_s`` is the
     reference wire's maximum per-message hold-back (uniform in
     ``[0, link_delay_s]``, deterministic per message in ``chaos_seed``).
+
+    ``trace_path`` / ``metrics_path`` record one *extra* traced run of
+    the overlap engine on the reference wire after the timed
+    measurements — the timed runs themselves stay untraced so the
+    benchmark numbers are never perturbed by the recorder.
     """
     cfg = ModelConfig(
         hidden=hidden, n_layers=n_layers, n_heads=n_heads,
@@ -197,4 +204,30 @@ def run_overlap_comparison(
             ),
             "losses_equal": z_sync["losses"] == z_ovl["losses"],
         }
+
+    if trace_path is not None or metrics_path is not None:
+        from ..core.weipipe import train_weipipe
+        from ..obs import Tracer
+
+        tracer = Tracer(metadata={
+            "strategy": f"weipipe-{mode}", "mode": mode, "world": world,
+            "recompute": spec.recompute, "overlap": True,
+            "iters": iters, "wire": report["wire"],
+            "dims": {
+                "hidden": hidden, "n_layers": n_layers, "seq_len": seq_len,
+                "microbatch": microbatch_size,
+                "n_microbatches": n_microbatches,
+                "n_heads": n_heads, "vocab": vocab,
+            },
+        }) if trace_path is not None else None
+        fabric = ChaosFabric(
+            world, policy=policy, timeout=120.0, tracer=tracer
+        )
+        train_weipipe(spec, world, mode=mode, fabric=fabric, overlap=True)
+        if trace_path is not None:
+            tracer.dump(trace_path)
+            report["trace_path"] = trace_path
+        if metrics_path is not None:
+            fabric.metrics.dump(metrics_path)
+            report["metrics_path"] = metrics_path
     return report

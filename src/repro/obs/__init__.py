@@ -1,0 +1,56 @@
+"""Observability: per-rank tracing, metrics, and trace analysis.
+
+The layer is always importable and near-free when off (the default):
+runtime call sites hold :data:`NULL_TRACER` handles whose methods are
+allocation-free no-ops.  Opt in by constructing a
+:class:`~repro.runtime.communicator.Fabric` with ``tracer=Tracer(...)``,
+or via the CLI's ``trace`` command / ``--trace`` flags.
+
+* :mod:`repro.obs.tracer` — per-rank event buffers, Chrome trace export.
+* :mod:`repro.obs.metrics` — labelled counters/gauges/histograms.
+* :mod:`repro.obs.analyze` — measured bubble ratio, overlap fraction,
+  per-turn chunk accounting, cost-model reconciliation.
+* :mod:`repro.obs.schema` — structural trace validation (CI smoke gate).
+"""
+
+from .analyze import (
+    RATIO_TOL,
+    WALL_TOL,
+    analyze_trace,
+    load_trace,
+    per_turn_chunks,
+    reconcile,
+)
+from .metrics import METRICS_SCHEMA, Counter, Gauge, Histogram, MetricsRegistry
+from .schema import validate_chrome_trace
+from .tracer import (
+    NULL_RANK_TRACER,
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    NullRankTracer,
+    NullTracer,
+    RankTracer,
+    Tracer,
+)
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "METRICS_SCHEMA",
+    "Tracer",
+    "RankTracer",
+    "NullTracer",
+    "NullRankTracer",
+    "NULL_TRACER",
+    "NULL_RANK_TRACER",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "load_trace",
+    "analyze_trace",
+    "per_turn_chunks",
+    "reconcile",
+    "validate_chrome_trace",
+    "WALL_TOL",
+    "RATIO_TOL",
+]

@@ -1,0 +1,217 @@
+"""Labelled counters, gauges and histograms for the runtime.
+
+This registry absorbs the ad-hoc telemetry that used to be scattered
+over the runtime: `TrafficStats` byte accounting (kept as a thin
+back-compat view), the overlap engine's hand-merged wire-wait/compute
+dicts, chaos injection tallies and pool hit/miss counts all land here
+under stable metric names.
+
+Design points, matched to the threaded in-process runtime:
+
+* **Cached handles.**  ``registry.counter(name, **labels)`` interns one
+  :class:`Counter` per (name, labels) key; hot paths look the handle up
+  once outside the loop and then call ``add()`` — a plain float add on
+  an owned object, no dict hashing per event.
+* **Single-writer per handle.**  Per-rank metrics include a ``rank``
+  label so each handle has exactly one writing thread (same discipline
+  as the tracer's per-rank buffers).  Genuinely shared handles (fabric
+  traffic) are only updated under the fabric lock.
+* **Snapshots are JSON.**  ``as_dict()`` / ``dump()`` emit a flat,
+  sorted, schema-tagged document suitable for committing as a golden
+  file or diffing across runs.
+
+Metric names follow the prometheus convention ``<subsystem>_<what>_<unit>``:
+``fabric_bytes_total{kind=...}``, ``weipipe_wire_wait_seconds{rank=...}``,
+``pool_allocations_total{rank=...}``, ``chaos_injections_total{fault=...}``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["METRICS_SCHEMA", "Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+METRICS_SCHEMA = "repro.metrics/v1"
+
+#: histogram bucket upper bounds (seconds) — spans wire waits from
+#: microseconds to the multi-second chaos tail; +Inf is implicit.
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0,
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing float; one writer per handle."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def snapshot(self) -> Dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Last-write-wins instantaneous value, with a high-water mark."""
+
+    __slots__ = ("name", "labels", "value", "max_value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def snapshot(self) -> Dict:
+        return {"value": self.value, "max": self.max_value}
+
+
+class Histogram:
+    """Fixed-bucket histogram of observations (seconds by default)."""
+
+    __slots__ = ("name", "labels", "buckets", "counts", "count", "total",
+                 "min_value", "max_value")
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelKey,
+                 buckets: Tuple[float, ...] = DEFAULT_BUCKETS):
+        self.name = name
+        self.labels = labels
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # final slot = +Inf
+        self.count = 0
+        self.total = 0.0
+        self.min_value = float("inf")
+        self.max_value = float("-inf")
+
+    def observe(self, value: float) -> None:
+        i = 0
+        for bound in self.buckets:
+            if value <= bound:
+                break
+            i += 1
+        self.counts[i] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict:
+        snap = {"count": self.count, "sum": self.total, "mean": self.mean}
+        if self.count:
+            snap["min"] = self.min_value
+            snap["max"] = self.max_value
+        snap["buckets"] = {
+            **{f"le_{b:g}": c for b, c in zip(self.buckets, self.counts)},
+            "le_inf": self.counts[-1],
+        }
+        return snap
+
+
+class MetricsRegistry:
+    """Process-wide metric store, keyed by (name, sorted labels)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: Dict[Tuple[str, LabelKey], object] = {}
+
+    def _get(self, cls, name: str, labels: Dict, **kw):
+        key = (name, _label_key(labels))
+        m = self._metrics.get(key)
+        if m is None:
+            with self._lock:
+                m = self._metrics.get(key)
+                if m is None:
+                    m = self._metrics[key] = cls(name, key[1], **kw)
+        if not isinstance(m, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(m).__name__}"
+            )
+        return m
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, buckets: Optional[Tuple[float, ...]] = None,
+                  **labels) -> Histogram:
+        kw = {"buckets": buckets} if buckets else {}
+        return self._get(Histogram, name, labels, **kw)
+
+    # -- queries ---------------------------------------------------------------
+
+    def value(self, name: str, **labels) -> float:
+        """Current value of a counter/gauge (0.0 if never touched)."""
+        m = self._metrics.get((name, _label_key(labels)))
+        return m.value if m is not None else 0.0
+
+    def total(self, name: str, label: Optional[str] = None) -> object:
+        """Sum a counter across all label sets; with ``label=`` given,
+        return a dict grouping the sum by that label's values."""
+        if label is None:
+            return sum(
+                m.value for (n, _), m in self._metrics.items()
+                if n == name and isinstance(m, Counter)
+            )
+        out: Dict[str, float] = {}
+        for (n, lk), m in self._metrics.items():
+            if n != name or not isinstance(m, Counter):
+                continue
+            val = dict(lk).get(label)
+            if val is not None:
+                out[val] = out.get(val, 0.0) + m.value
+        return out
+
+    def collect(self, prefix: str = "") -> List[object]:
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return [m for (n, _), m in items if n.startswith(prefix)]
+
+    # -- export ----------------------------------------------------------------
+
+    def as_dict(self) -> Dict:
+        with self._lock:
+            items = sorted(self._metrics.items())
+        metrics = []
+        for (name, labels), m in items:
+            metrics.append({
+                "name": name,
+                "kind": m.kind,
+                "labels": dict(labels),
+                **m.snapshot(),
+            })
+        return {"schema": METRICS_SCHEMA, "metrics": metrics}
+
+    def dump(self, path: str) -> None:
+        with open(path, "w") as f:
+            json.dump(self.as_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")

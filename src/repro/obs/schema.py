@@ -1,0 +1,66 @@
+"""Structural validation of exported traces (the CI smoke gate).
+
+:func:`validate_chrome_trace` checks the *shape* our exporter promises
+(DESIGN.md §11) — not full Chrome trace-event semantics.  It returns a
+list of human-readable problems; an empty list means the document is
+well-formed and schema-tagged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .tracer import TRACE_SCHEMA
+
+__all__ = ["validate_chrome_trace"]
+
+#: event phases our exporter emits.
+_PHASES = {"X", "i", "C", "M"}
+_REQUIRED = ("ph", "name", "pid", "tid", "ts")
+
+
+def validate_chrome_trace(doc: Dict, max_errors: int = 20) -> List[str]:
+    """Validate a trace document; returns problems (empty = valid)."""
+    errors: List[str] = []
+
+    def err(msg: str) -> bool:
+        errors.append(msg)
+        return len(errors) >= max_errors
+
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    meta = doc.get("metadata")
+    if not isinstance(meta, dict):
+        err("metadata missing or not an object")
+    elif meta.get("schema") != TRACE_SCHEMA:
+        err(f"metadata.schema is {meta.get('schema')!r}, want {TRACE_SCHEMA!r}")
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            if err(f"event[{i}]: not an object"):
+                break
+            continue
+        missing = [k for k in _REQUIRED if k not in ev]
+        if missing:
+            if err(f"event[{i}]: missing keys {missing}"):
+                break
+            continue
+        ph = ev["ph"]
+        if ph not in _PHASES:
+            if err(f"event[{i}]: unknown phase {ph!r}"):
+                break
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                if err(f"event[{i}] ({ev['name']!r}): X event needs dur >= 0"):
+                    break
+        if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+            if err(f"event[{i}] ({ev['name']!r}): instant needs scope s"):
+                break
+        if not isinstance(ev["ts"], (int, float)):
+            if err(f"event[{i}]: ts is not a number"):
+                break
+    return errors

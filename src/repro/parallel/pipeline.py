@@ -21,6 +21,7 @@ claim that distinguishes the schedules.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -73,6 +74,7 @@ class _StageWorker:
         self.targets: Dict[int, np.ndarray] = {}
         self.peak_inflight = 0
         self.local_losses: Dict[int, float] = {}
+        self.trace = comm.trace
 
     # -- one microbatch's passes ---------------------------------------------
 
@@ -83,6 +85,7 @@ class _StageWorker:
         else:
             x = self.comm.recv(self.rank - 1, ("act", it, mb))
             _, targets = microbatch(self.spec, it, mb)
+        c0 = perf_counter()
         states = []
         for i in self.chunk_ids:
             x, st = self.ck.fwd(i, self.chunks[i], x, self.cos, self.sin)
@@ -94,7 +97,10 @@ class _StageWorker:
             loss, c_loss = F.cross_entropy_fwd(x, targets)
             self.local_losses[mb] = loss
             self.loss_caches[mb] = c_loss
-        else:
+        if self.trace.enabled:
+            self.trace.complete("F", "compute", c0, perf_counter() - c0,
+                                {"mb": mb, "it": it})
+        if not self.is_last:
             self.comm.send(
                 x,
                 self.rank + 1,
@@ -107,6 +113,7 @@ class _StageWorker:
             dy = F.cross_entropy_bwd(1.0, self.loss_caches.pop(mb))
         else:
             dy = self.comm.recv(self.rank + 1, ("bgrad", it, mb))
+        c0 = perf_counter()
         states = self.inflight.pop(mb)
         for pos in range(len(self.chunk_ids) - 1, -1, -1):
             i = self.chunk_ids[pos]
@@ -114,6 +121,9 @@ class _StageWorker:
             if dy is not None:
                 dy = self.q_bgrad(dy)
             accum[i].add_(quantize_grads(g, self.spec.precision), scale=self.scale)
+        if self.trace.enabled:
+            self.trace.complete("B", "compute", c0, perf_counter() - c0,
+                                {"mb": mb, "it": it})
         if not self.is_first:
             self.comm.send(
                 dy,
@@ -125,6 +135,15 @@ class _StageWorker:
     # -- iteration ------------------------------------------------------------
 
     def run_iteration(self, it: int, schedule: str) -> float:
+        if not self.trace.enabled:
+            return self._run_iteration(it, schedule)
+        t0 = perf_counter()
+        loss = self._run_iteration(it, schedule)
+        self.trace.complete("iteration", "iteration", t0, perf_counter() - t0,
+                            {"it": it, "schedule": schedule})
+        return loss
+
+    def _run_iteration(self, it: int, schedule: str) -> float:
         n = self.spec.n_microbatches
         accum = {i: self.chunks[i].zeros_like() for i in self.chunk_ids}
 

@@ -31,6 +31,7 @@ so checkpointing saves nothing and only adds compute.
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter
 from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -83,6 +84,7 @@ class _ZBStage:
         self.pending_w: Deque[Tuple[int, list]] = deque()
         self.peak_pending_w = 0
         self.peak_inflight = 0
+        self.trace = comm.trace
 
     def forward(self, it: int, mb: int) -> None:
         if self.is_first:
@@ -91,6 +93,7 @@ class _ZBStage:
         else:
             x = self.comm.recv(self.rank - 1, ("act", it, mb))
             _, targets = microbatch(self.spec, it, mb)
+        c0 = perf_counter()
         states = []
         for i in self.chunk_ids:
             x, st = self.ck.fwd(i, self.chunks[i], x, self.cos, self.sin)
@@ -102,7 +105,10 @@ class _ZBStage:
             loss, c_loss = F.cross_entropy_fwd(x, targets)
             self.local_losses[mb] = loss
             self.loss_caches[mb] = c_loss
-        else:
+        if self.trace.enabled:
+            self.trace.complete("F", "compute", c0, perf_counter() - c0,
+                                {"mb": mb, "it": it})
+        if not self.is_last:
             self.comm.send(
                 x, self.rank + 1, ("act", it, mb),
                 nbytes=int(x.size * self.act_wire),
@@ -114,6 +120,7 @@ class _ZBStage:
             dy = F.cross_entropy_bwd(1.0, self.loss_caches.pop(mb))
         else:
             dy = self.comm.recv(self.rank + 1, ("bgrad", it, mb))
+        c0 = perf_counter()
         states = self.inflight.pop(mb)
         deferred = []
         for pos in range(len(self.chunk_ids) - 1, -1, -1):
@@ -122,6 +129,9 @@ class _ZBStage:
             if dy is not None:
                 dy = self.q_bgrad(dy)
             deferred.append((i, cache, wcache))
+        if self.trace.enabled:
+            self.trace.complete("B", "compute", c0, perf_counter() - c0,
+                                {"mb": mb, "it": it})
         if not self.is_first:
             self.comm.send(
                 dy, self.rank - 1, ("bgrad", it, mb),
@@ -132,12 +142,25 @@ class _ZBStage:
 
     def w_pass(self, accum: Dict[int, ParamStruct]) -> None:
         """Weight-gradient half for the oldest deferred microbatch."""
-        _mb, deferred = self.pending_w.popleft()
+        c0 = perf_counter()
+        mb, deferred = self.pending_w.popleft()
         for i, cache, wcache in deferred:
             g = self.ck.bwd_weight(i, cache, wcache)
             accum[i].add_(quantize_grads(g, self.spec.precision), scale=self.scale)
+        if self.trace.enabled:
+            self.trace.complete("W", "compute", c0, perf_counter() - c0,
+                                {"mb": mb})
 
     def run_iteration(self, it: int, variant: str) -> float:
+        if not self.trace.enabled:
+            return self._run_iteration(it, variant)
+        t0 = perf_counter()
+        loss = self._run_iteration(it, variant)
+        self.trace.complete("iteration", "iteration", t0, perf_counter() - t0,
+                            {"it": it, "variant": variant})
+        return loss
+
+    def _run_iteration(self, it: int, variant: str) -> float:
         n = self.spec.n_microbatches
         accum = {i: self.chunks[i].zeros_like() for i in self.chunk_ids}
 

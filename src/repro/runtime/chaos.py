@@ -164,10 +164,18 @@ class ChaosFabric(Fabric):
         world_size: int,
         policy: Optional[ChaosPolicy] = None,
         timeout: float = 60.0,
+        tracer=None,
+        metrics=None,
     ):
-        super().__init__(world_size, timeout=timeout)
+        super().__init__(world_size, timeout=timeout, tracer=tracer, metrics=metrics)
         self.policy = policy if policy is not None else ChaosPolicy()
         self.chaos = ChaosStats()
+        # registry mirrors of the injection tallies (ChaosStats stays the
+        # exact-count source of truth for the differential tests).
+        self._m_injected = {
+            fault: self.metrics.counter("chaos_injections_total", fault=fault)
+            for fault in ("delay", "drop", "duplicate", "crash")
+        }
         # wire state, all guarded by self._cond's lock:
         self._limbo: List[Tuple[float, int, Tuple, int, Message]] = []  # heap
         self._tie = itertools.count()
@@ -188,6 +196,7 @@ class ChaosFabric(Fabric):
             self._posts_by_rank[msg.src] = n
             if pol.crash_rank == msg.src and pol.crash_at_post == n:
                 self.chaos.crashes += 1
+                self._m_injected["crash"].add(1)
                 raise ChaosCrash(
                     f"injected crash: rank {msg.src} killed at its "
                     f"{n}th send (tag={msg.tag})"
@@ -195,7 +204,7 @@ class ChaosFabric(Fabric):
             chan = (msg.src, msg.dst, msg.tag)
             seq = self._chan_send_seq.get(chan, 0)
             self._chan_send_seq[chan] = seq + 1
-            self.stats.record(msg)  # logical traffic: once per message
+            self._record_traffic_locked(msg)  # logical traffic: once per message
             self.chaos.posts += 1
 
             d = pol.decide(msg.src, msg.dst, msg.tag, seq)
@@ -203,15 +212,18 @@ class ChaosFabric(Fabric):
             arrival = now + d.delay
             if d.delay > 0.0:
                 self.chaos.delayed += 1
+                self._m_injected["delay"].add(1)
             if d.dropped:
                 self.chaos.dropped += 1
                 self.chaos.retransmits += 1
                 self.chaos.extra_wire_bytes += msg.nbytes
+                self._m_injected["drop"].add(1)
                 arrival += pol.retry_delay
             heapq.heappush(self._limbo, (arrival, next(self._tie), chan, seq, msg))
             if d.duplicated:
                 self.chaos.duplicates += 1
                 self.chaos.extra_wire_bytes += msg.nbytes
+                self._m_injected["duplicate"].add(1)
                 heapq.heappush(
                     self._limbo, (now + d.dup_delay, next(self._tie), chan, seq, msg)
                 )

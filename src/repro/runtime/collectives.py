@@ -14,6 +14,8 @@ different phases of a strategy never cross-match.
 
 from __future__ import annotations
 
+import functools
+from time import perf_counter
 from typing import Any, Callable, List, Optional, Tuple
 
 import numpy as np
@@ -28,6 +30,27 @@ __all__ = [
     "reduce_scatter",
     "split_chunks",
 ]
+
+
+def _traced_collective(fn: Callable) -> Callable:
+    """Record one ``collective``-category span per call when tracing is
+    on; untraced calls pay one ``enabled`` check.  Composite collectives
+    (all_reduce = reduce_scatter + all_gather) nest naturally."""
+
+    name = fn.__name__
+
+    @functools.wraps(fn)
+    def wrapper(comm: Communicator, *args, **kwargs):
+        tr = comm.trace
+        if not tr.enabled:
+            return fn(comm, *args, **kwargs)
+        t0 = perf_counter()
+        out = fn(comm, *args, **kwargs)
+        tr.complete(name, "collective", t0, perf_counter() - t0,
+                    {"tag": kwargs.get("tag")})
+        return out
+
+    return wrapper
 
 
 def split_chunks(flat: np.ndarray, parts: int) -> List[np.ndarray]:
@@ -47,6 +70,7 @@ def split_chunks(flat: np.ndarray, parts: int) -> List[np.ndarray]:
     return out
 
 
+@_traced_collective
 def barrier(comm: Communicator, tag: Tuple = ("barrier",)) -> None:
     """Two full ring rotations of a token — a dissemination-free barrier."""
     p = comm.world_size
@@ -57,6 +81,7 @@ def barrier(comm: Communicator, tag: Tuple = ("barrier",)) -> None:
         comm.recv(comm.left, tag + (phase,))
 
 
+@_traced_collective
 def broadcast(
     comm: Communicator, value: Any, root: int = 0, tag: Tuple = ("bcast",),
     nbytes: Optional[int] = None,
@@ -73,6 +98,7 @@ def broadcast(
     return value
 
 
+@_traced_collective
 def all_gather(
     comm: Communicator,
     value: Any,
@@ -97,6 +123,7 @@ def all_gather(
     return out
 
 
+@_traced_collective
 def reduce_scatter(
     comm: Communicator,
     flat: np.ndarray,
@@ -130,6 +157,7 @@ def reduce_scatter(
     return chunks[comm.rank]
 
 
+@_traced_collective
 def all_reduce(
     comm: Communicator,
     flat: np.ndarray,

@@ -36,9 +36,12 @@ from __future__ import annotations
 import threading
 import time
 from collections import defaultdict, deque
+from time import perf_counter
 from typing import Any, Deque, Dict, Optional, Tuple
 
-from .message import Message, TrafficStats, payload_nbytes
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER
+from .message import Message, TrafficStats, payload_nbytes, tag_kind
 
 __all__ = ["Fabric", "Communicator", "RecvTimeout", "FabricAborted", "PeerFailed"]
 
@@ -77,11 +80,26 @@ class PeerFailed(RuntimeError):
 class Fabric:
     """Shared state for one group of communicating workers."""
 
-    def __init__(self, world_size: int, timeout: float = 60.0):
+    def __init__(
+        self,
+        world_size: int,
+        timeout: float = 60.0,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         if world_size < 1:
             raise ValueError("world_size must be >= 1")
         self.world_size = world_size
         self.timeout = timeout
+        #: per-rank timeline recorder; NULL_TRACER (allocation-free
+        #: no-ops) unless a real one is attached — see repro.obs.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: canonical metric store; TrafficStats below remains as a thin
+        #: legacy view fed by the same _record_traffic_locked call.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # cached per-kind counter handles so the per-message hot path
+        # does one dict lookup, not a registry resolution.
+        self._traffic_handles: Dict[str, Tuple[Any, Any]] = {}
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         # mailbox[dst][(src, tag)] -> FIFO of messages
@@ -120,6 +138,28 @@ class Fabric:
             raise FabricAborted(self._aborted)
         if self._failed and self._ack_epoch.get(rank, 0) < self._fail_epoch:
             raise PeerFailed({r: v for r, v in self._failed.items() if r != rank})
+
+    def _record_traffic_locked(self, msg: Message) -> None:
+        """Account one *logical* message, exactly once, for both the
+        legacy :class:`TrafficStats` view and the metrics registry.
+
+        This is the single choke point for traffic accounting: every
+        post path (blocking or nonblocking, plain or chaos wire) must go
+        through here so the per-kind ledgers cannot drift apart.  Caller
+        holds the fabric lock, which is what makes the shared counter
+        handles safe.
+        """
+        self.stats.record(msg)
+        kind = tag_kind(msg.tag)
+        handles = self._traffic_handles.get(kind)
+        if handles is None:
+            handles = (
+                self.metrics.counter("fabric_bytes_total", kind=kind),
+                self.metrics.counter("fabric_messages_total", kind=kind),
+            )
+            self._traffic_handles[kind] = handles
+        handles[0].add(msg.nbytes)
+        handles[1].add(1)
 
     # hooks the chaos wire overrides -------------------------------------------
 
@@ -164,7 +204,7 @@ class Fabric:
         with self._cond:
             self._check_disturbed(msg.src)
             self._mail[msg.dst][(msg.src, msg.tag)].append(msg)
-            self.stats.record(msg)
+            self._record_traffic_locked(msg)
             self._drain_locked((msg.dst, msg.src, msg.tag))
             self._cond.notify_all()
 
@@ -338,7 +378,7 @@ class _RecvHandle:
     swallow a later message.
     """
 
-    __slots__ = ("_fabric", "_dst", "_src", "_tag", "_done", "_value")
+    __slots__ = ("_fabric", "_dst", "_src", "_tag", "_done", "_value", "_trace")
 
     def __init__(self, fabric: Fabric, dst: int, src: int, tag: Tuple):
         self._fabric = fabric
@@ -347,6 +387,9 @@ class _RecvHandle:
         self._tag = tag
         self._done = False
         self._value = None
+        # set by Communicator.irecv only when tracing is on, so the
+        # untraced path never pays for it.
+        self._trace = None
 
     def wait(self, timeout: Optional[float] = None) -> Any:
         # lock-free fast path: in the steady-state ring the message was
@@ -354,7 +397,14 @@ class _RecvHandle:
         # loop never touches the fabric lock here.
         if self._done:
             return self._value
-        return self._fabric.wait_handle(self, timeout)
+        tr = self._trace
+        if tr is None:
+            return self._fabric.wait_handle(self, timeout)
+        t0 = perf_counter()
+        value = self._fabric.wait_handle(self, timeout)
+        tr.complete("wait", "wire", t0, perf_counter() - t0,
+                    {"src": self._src, "tag": self._tag})
+        return value
 
     def test(self) -> bool:
         """Non-blocking completion check (never raises)."""
@@ -394,6 +444,9 @@ class Communicator:
     def __init__(self, fabric: Fabric, rank: int):
         self.fabric = fabric
         self.rank = rank
+        #: this rank's timeline buffer (a NullRankTracer when tracing is
+        #: off — check ``self.trace.enabled`` before building span args).
+        self.trace = fabric.tracer.rank(rank)
 
     @property
     def world_size(self) -> int:
@@ -416,15 +469,17 @@ class Communicator:
 
     def send(self, payload: Any, dst: int, tag: Tuple = (), nbytes: Optional[int] = None) -> None:
         """Buffered (non-blocking) send."""
+        size = nbytes if nbytes is not None else payload_nbytes(payload)
         self.fabric.post(
-            Message(
-                src=self.rank,
-                dst=dst,
-                tag=tag,
-                payload=payload,
-                nbytes=nbytes if nbytes is not None else payload_nbytes(payload),
-            )
+            Message(src=self.rank, dst=dst, tag=tag, payload=payload, nbytes=size)
         )
+        if self.trace.enabled:
+            # the "send" instant stream *is* the per-turn chunk record the
+            # analyzer counts (2W+1D): kind + tag identify the flow/turn.
+            self.trace.instant(
+                "send", "comm",
+                {"dst": dst, "kind": tag_kind(tag), "nbytes": size, "tag": tag},
+            )
 
     def isend(
         self, payload: Any, dst: int, tag: Tuple = (), nbytes: Optional[int] = None
@@ -437,7 +492,13 @@ class Communicator:
 
     def recv(self, src: int, tag: Tuple = (), timeout: Optional[float] = None) -> Any:
         """Blocking receive of the matching (src, tag) message."""
-        return self.fabric.take(self.rank, src, tag, timeout)
+        if not self.trace.enabled:
+            return self.fabric.take(self.rank, src, tag, timeout)
+        t0 = perf_counter()
+        value = self.fabric.take(self.rank, src, tag, timeout)
+        self.trace.complete("recv", "wire", t0, perf_counter() - t0,
+                            {"src": src, "tag": tag})
+        return value
 
     def irecv(self, src: int, tag: Tuple = ()) -> _RecvHandle:
         """Post a non-blocking receive; call ``.wait()`` on the handle.
@@ -445,7 +506,10 @@ class Communicator:
         The receive is matched against the channel's FIFO stream at post
         time, so several outstanding ``irecv`` on the same ``(src, tag)``
         complete in posting order."""
-        return self.fabric.post_recv(self.rank, src, tag)
+        h = self.fabric.post_recv(self.rank, src, tag)
+        if self.trace.enabled:
+            h._trace = self.trace  # lets a blocked wait record its stall
+        return h
 
     def sendrecv(
         self,

@@ -120,6 +120,8 @@ def elastic_worker(
     epoch = 0
     step = 0
 
+    trace = comm.trace
+
     while step < iters:
         comm.report_progress(step)
         try:
@@ -134,9 +136,10 @@ def elastic_worker(
             # which bounds commit skew between survivors to one step.
             all_gather(sub, None, tag=("elastic-commit", epoch, step))
             losses.append(loss)
-            committed.append((step + 1, new_state))
-            if len(committed) > 2:
-                committed.pop(0)
+            with trace.span("snapshot", "recovery", {"step": step + 1}):
+                committed.append((step + 1, new_state))
+                if len(committed) > 2:
+                    committed.pop(0)
             step += 1
             if on_commit is not None and comm.rank == min(alive):
                 on_commit(step, new_state, list(losses))
@@ -150,16 +153,23 @@ def elastic_worker(
             if comm.rank not in new_alive or not new_alive:
                 raise  # this rank was itself declared dead — unwind.
             epoch += 1
+            trace.instant(
+                "peer-failed", "recovery",
+                {"failed": newly_dead, "detected_at_step": step},
+            )
             # consensus on the rollback step: survivors can disagree by
             # at most one commit (see module docstring), so the minimum
             # is a snapshot everyone still holds.
-            rsub = SubCommunicator(
-                comm, new_alive, ("elastic-recover", epoch, tuple(new_alive))
-            )
-            steps_all = all_gather(
-                rsub, committed[-1][0], tag=("elastic-steps", epoch)
-            )
-            target = min(steps_all)
+            with trace.span(
+                "re-form", "recovery", {"epoch": epoch, "survivors": new_alive}
+            ):
+                rsub = SubCommunicator(
+                    comm, new_alive, ("elastic-recover", epoch, tuple(new_alive))
+                )
+                steps_all = all_gather(
+                    rsub, committed[-1][0], tag=("elastic-steps", epoch)
+                )
+                target = min(steps_all)
             snap = next(
                 (s for (st, s) in committed if st == target), None
             )
@@ -168,9 +178,10 @@ def elastic_worker(
                     f"rank {comm.rank} cannot roll back to step {target}: "
                     f"holds {[st for st, _ in committed]}"
                 )
-            committed = [(target, snap)]
-            del losses[target:]
-            rollback_states.append(snap)
+            with trace.span("rollback", "recovery", {"to_step": target}):
+                committed = [(target, snap)]
+                del losses[target:]
+                rollback_states.append(snap)
             events.append(
                 RecoveryEvent(
                     step=target,

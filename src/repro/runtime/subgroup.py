@@ -35,6 +35,10 @@ class SubCommunicator(Communicator):
         self.fabric = parent.fabric
         #: local rank within the subgroup (``left``/``right`` inherit it).
         self.rank = ranks.index(parent.rank)
+        # same thread, same timeline: share the parent's trace buffer
+        # (this __init__ bypasses Communicator.__init__, which normally
+        # resolves it from the fabric's tracer).
+        self.trace = parent.trace
         self._parent = parent
         self._ranks = ranks
         self._name = name

@@ -41,6 +41,7 @@ materialise at full ``G*S*V``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from .hardware import GPU
 
@@ -120,12 +121,54 @@ class ExecConfig:
 
 
 class CostModel:
-    """Times and sizes for one workload on one GPU model."""
+    """Times and sizes for one workload on one GPU model.
 
-    def __init__(self, dims: WorkloadDims, gpu: GPU, exec_cfg: ExecConfig = ExecConfig()):
+    ``op_overhead`` (fixed seconds per layer-op) defaults to the
+    GPU-calibrated :data:`OP_OVERHEAD` constant; calibrated models
+    (below) override it per instance.
+    """
+
+    def __init__(
+        self,
+        dims: WorkloadDims,
+        gpu: GPU,
+        exec_cfg: ExecConfig = ExecConfig(),
+        op_overhead: Optional[float] = None,
+    ):
         self.dims = dims
         self.gpu = gpu
         self.cfg = exec_cfg
+        self.op_overhead = OP_OVERHEAD if op_overhead is None else op_overhead
+
+    @classmethod
+    def calibrated(
+        cls,
+        dims: WorkloadDims,
+        t_fwd_layer_measured: float,
+        exec_cfg: ExecConfig = ExecConfig(),
+    ) -> "CostModel":
+        """A model whose effective throughput is solved from a *measured*
+        per-layer forward time, so its ``t_fwd_layer()`` reproduces the
+        measurement exactly.
+
+        This is how the trace analyzer (:mod:`repro.obs.analyze`)
+        reconciles the functional runtime against the model: the runtime
+        is NumPy on CPU threads, nowhere near the A800 constants, so the
+        GPU-flops knob is re-fit from the trace's forward spans and
+        ``op_overhead`` is zeroed (the measured span already contains
+        the real dispatch overhead).  Everything derived — the 2x
+        backward, recompute, bubble formulas — then predicts in the
+        measured time base.
+        """
+        if t_fwd_layer_measured <= 0.0:
+            raise ValueError("t_fwd_layer_measured must be positive")
+        probe = cls(dims, GPU(name="calibrated", flops=1.0, memory=0.0),
+                    exec_cfg, op_overhead=0.0)
+        flops = probe.flops_fwd_layer() / (
+            t_fwd_layer_measured * probe.efficiency()
+        )
+        return cls(dims, GPU(name="calibrated", flops=flops, memory=0.0),
+                   exec_cfg, op_overhead=0.0)
 
     # -- compute ---------------------------------------------------------------
 
@@ -144,7 +187,7 @@ class CostModel:
     def t_fwd_layer(self) -> float:
         """Seconds to forward one layer for one microbatch."""
         flop_time = self.flops_fwd_layer() / (self.gpu.flops * self.efficiency())
-        return flop_time + OP_OVERHEAD
+        return flop_time + self.op_overhead
 
     def t_bwd_layer(self) -> float:
         """Full backward (B+W), ~2x forward; + recompute forward if on."""

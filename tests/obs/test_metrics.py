@@ -1,0 +1,113 @@
+"""MetricsRegistry unit tests: handle caching, kinds, export shape."""
+
+import json
+
+import pytest
+
+from repro.obs import METRICS_SCHEMA, MetricsRegistry
+from repro.obs.metrics import Counter, Histogram
+
+
+class TestHandles:
+    def test_counter_handles_are_interned_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        a = reg.counter("fabric_bytes_total", kind="F")
+        b = reg.counter("fabric_bytes_total", kind="F")
+        c = reg.counter("fabric_bytes_total", kind="B")
+        assert a is b
+        assert a is not c
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        assert reg.counter("m", a=1, b=2) is reg.counter("m", b=2, a=1)
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m", rank=0)
+        with pytest.raises(TypeError):
+            reg.gauge("m", rank=0)
+
+    def test_counter_add_and_value(self):
+        reg = MetricsRegistry()
+        reg.counter("msgs", kind="F").add(3)
+        reg.counter("msgs", kind="F").add()
+        assert reg.value("msgs", kind="F") == 4.0
+        assert reg.value("never_touched") == 0.0
+
+    def test_total_sums_and_groups(self):
+        reg = MetricsRegistry()
+        reg.counter("bytes", kind="F").add(10)
+        reg.counter("bytes", kind="B").add(5)
+        reg.counter("bytes", kind="F").add(2)
+        assert reg.total("bytes") == 17.0
+        assert reg.total("bytes", label="kind") == {"F": 12.0, "B": 5.0}
+
+    def test_gauge_tracks_high_water(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("pool_allocations", rank=0)
+        g.set(5)
+        g.set(3)
+        assert g.value == 3
+        assert g.max_value == 5
+
+
+class TestHistogram:
+    def test_observe_accumulates_count_sum_bounds(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("weipipe_wire_wait_seconds", rank=0)
+        for v in (1e-5, 2e-3, 0.2):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == pytest.approx(0.20201)
+        assert h.mean == pytest.approx(h.total / 3)
+        assert h.min_value == 1e-5
+        assert h.max_value == 0.2
+
+    def test_total_doubles_as_legacy_float(self):
+        """``extra["wire_wait_s"]`` consumers read ``.total`` — the sum a
+        plain float accumulator would have held."""
+        h = Histogram("t", ())
+        vals = [0.001, 0.01, 0.1]
+        for v in vals:
+            h.observe(v)
+        assert h.total == pytest.approx(sum(vals))
+
+    def test_bucket_assignment(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(0.1, 1.0))
+        h.observe(0.05)   # le_0.1
+        h.observe(0.5)    # le_1
+        h.observe(100.0)  # le_inf
+        snap = h.snapshot()
+        assert snap["buckets"] == {"le_0.1": 1, "le_1": 1, "le_inf": 1}
+
+
+class TestExport:
+    def test_as_dict_schema_and_sorting(self):
+        reg = MetricsRegistry()
+        reg.counter("b_metric").add(1)
+        reg.counter("a_metric", kind="F").add(2)
+        doc = reg.as_dict()
+        assert doc["schema"] == METRICS_SCHEMA
+        names = [m["name"] for m in doc["metrics"]]
+        assert names == sorted(names)
+        a = doc["metrics"][0]
+        assert a == {"name": "a_metric", "kind": "counter",
+                     "labels": {"kind": "F"}, "value": 2.0}
+
+    def test_dump_is_valid_json(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.histogram("h", rank=1).observe(0.5)
+        path = tmp_path / "m.json"
+        reg.dump(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["metrics"][0]["kind"] == "histogram"
+
+    def test_collect_prefix_filter(self):
+        reg = MetricsRegistry()
+        reg.counter("fabric_bytes_total", kind="F")
+        reg.counter("chaos_injections_total", fault="drop")
+        got = reg.collect("fabric_")
+        assert len(got) == 1
+        assert isinstance(got[0], Counter)
+        assert got[0].name == "fabric_bytes_total"

@@ -264,3 +264,100 @@ class TestBenchOverlapCLI:
         ])
         assert rc == 0
         assert "zero_latency" not in json.loads(out.read_text())
+
+
+class TestTraceCLI:
+    def test_trace_writes_valid_chrome_trace_and_analysis(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        analysis = tmp_path / "analysis.json"
+        rc = main([
+            "trace", "weipipe-interleave", "--world", "2", "--layers", "4",
+            "--iters", "1", "--microbatches", "4",
+            "--out", str(out), "--jsonl", str(jsonl),
+            "--metrics-out", str(metrics), "--analysis-out", str(analysis),
+        ])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert doc["metadata"]["strategy"] == "weipipe-interleave"
+        # jsonl: header + one line per event
+        lines = jsonl.read_text().splitlines()
+        assert len(lines) == 1 + sum(
+            1 for e in doc["traceEvents"] if e["ph"] != "M"
+        )
+        m = json.loads(metrics.read_text())
+        names = {x["name"] for x in m["metrics"]}
+        assert "fabric_bytes_total" in names
+        assert "weipipe_wire_wait_seconds" in names
+        a = json.loads(analysis.read_text())
+        assert a["analysis"]["per_turn"]["uniform_2w_1d"] is True
+        assert a["reconciliation"]["iteration_wall"]["within_tolerance"]
+        printed = capsys.readouterr().out
+        assert "bubble ratio" in printed
+        assert "2W+1D" in printed
+
+    def test_trace_default_strategy_and_no_analyze(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        rc = main([
+            "trace", "--world", "2", "--layers", "2", "--iters", "1",
+            "--microbatches", "2", "--no-analyze", "--out", str(out),
+        ])
+        assert rc == 0
+        assert out.exists()
+        assert "bubble ratio" not in capsys.readouterr().out
+
+    def test_trace_unknown_strategy_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "frobnicate", "--out", str(tmp_path / "t.json")])
+
+    def test_train_trace_flag(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out = tmp_path / "t.json"
+        rc = main([
+            "train", "--iters", "1", "--world", "2", "--hidden", "16",
+            "--layers", "2", "--heads", "2", "--seq", "8", "--vocab", "17",
+            "--microbatches", "4", "--strategy", "1f1b", "--trace", str(out),
+        ])
+        assert rc == 0
+        assert validate_chrome_trace(json.loads(out.read_text())) == []
+
+    def test_chaos_sweep_metrics_out(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "m.json"
+        rc = main([
+            "chaos-sweep", "--seeds", "1",
+            "--strategies", "weipipe-interleave",
+            "--metrics-out", str(metrics),
+        ])
+        assert rc == 0
+        m = json.loads(metrics.read_text())
+        names = {x["name"] for x in m["metrics"]}
+        assert "chaos_injections_total" in names
+
+    def test_bench_overlap_trace_flag(self, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out = tmp_path / "b.json"
+        trace = tmp_path / "t.json"
+        rc = main([
+            "bench-overlap", "--world", "2", "--layers", "2", "--hidden", "8",
+            "--heads", "2", "--seq", "8", "--vocab", "16",
+            "--microbatches", "2", "--iters", "2", "--reps", "1",
+            "--link-delay", "0.0", "--no-control", "--out", str(out),
+            "--trace", str(trace),
+        ])
+        assert rc == 0
+        assert json.loads(out.read_text())["trace_path"] == str(trace)
+        assert validate_chrome_trace(json.loads(trace.read_text())) == []
