@@ -18,7 +18,8 @@ from .nn.generate import generate, perplexity
 from .obs import MetricsRegistry, Tracer, analyze_trace, load_trace
 from .optim import SGD, Adam, AdamW, MasterWeightOptimizer
 from .parallel import ELASTIC_STRATEGIES, TrainResult, TrainSpec, train_elastic
-from .runtime import ChaosFabric, ChaosPolicy, PeerFailed
+from .parallel.weipipe_hier import train_weipipe_hier
+from .runtime import ChaosFabric, ChaosPolicy, LinkSpec, PeerFailed, Topology
 from .testing import run_crash_recovery, run_differential
 
 __version__ = "1.0.0"
@@ -35,6 +36,8 @@ __all__ = [
     "PeerFailed",
     "FP32",
     "FP64",
+    "LinkSpec",
+    "Topology",
     "MarkovCorpus",
     "UniformCorpus",
     "generate",
@@ -61,5 +64,6 @@ __all__ = [
     "train_elastic",
     "train_weipipe",
     "train_weipipe_dp",
+    "train_weipipe_hier",
     "__version__",
 ]

@@ -58,6 +58,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--strategy", default="weipipe-interleave")
     p_train.add_argument("--world", type=int, default=4)
     p_train.add_argument(
+        "--groups", default=None, metavar="GxR",
+        help="group shape of the fabric topology, e.g. 2x2 (world = G*R): "
+             "builds a topology-carrying fabric; weipipe-hier runs its "
+             "two-level ring on it and the run reports per-link-class "
+             "traffic",
+    )
+    p_train.add_argument(
         "--dp", type=int, default=1,
         help="data-parallel replicas of the WeiPipe ring (2-D hybrid; "
              "ring size = world / dp, weipipe strategies only)",
@@ -267,6 +274,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(p_bo)
 
+    p_bt = sub.add_parser(
+        "bench-topology",
+        help="benchmark the hierarchical weight ring vs the flat ring on "
+             "a seeded asymmetric wire and write BENCH_topology.json",
+    )
+    p_bt.add_argument("--hidden", type=int, default=16)
+    p_bt.add_argument("--layers", type=int, default=16)
+    p_bt.add_argument("--heads", type=int, default=2)
+    p_bt.add_argument("--seq", type=int, default=16)
+    p_bt.add_argument("--vocab", type=int, default=16)
+    p_bt.add_argument("--world", type=int, default=4)
+    p_bt.add_argument(
+        "--groups", default="2x2", metavar="GxR",
+        help="topology group shape (world = G*R); gateways are the "
+             "lowest rank of each group",
+    )
+    p_bt.add_argument("--microbatches", type=int, default=16)
+    p_bt.add_argument("--microbatch-size", type=int, default=1)
+    p_bt.add_argument("--iters", type=int, default=3)
+    p_bt.add_argument("--seed", type=int, default=7)
+    p_bt.add_argument(
+        "--mode", default="interleave",
+        choices=["naive", "interleave", "zero-bubble"],
+    )
+    p_bt.add_argument("--precision", default="fp64", choices=["fp32", "fp64"])
+    p_bt.add_argument(
+        "--intra-bandwidth", type=float, default=2e9, metavar="B/S",
+        help="bandwidth of links inside a group",
+    )
+    p_bt.add_argument(
+        "--intra-latency", type=float, default=2e-6, metavar="S",
+        help="latency of links inside a group",
+    )
+    p_bt.add_argument(
+        "--inter-bandwidth", type=float, default=2e7, metavar="B/S",
+        help="bandwidth of links between groups (the slow boundary)",
+    )
+    p_bt.add_argument(
+        "--inter-latency", type=float, default=2e-4, metavar="S",
+        help="latency of links between groups",
+    )
+    p_bt.add_argument(
+        "--jitter", type=float, default=0.0005,
+        help="max seeded per-message hold-back in seconds (uniform in "
+             "[0, j], deterministic per message in the chaos seed)",
+    )
+    p_bt.add_argument(
+        "--chaos-seed", type=int, default=1,
+        help="seed of the wire's jitter schedule",
+    )
+    p_bt.add_argument(
+        "--reps", type=int, default=2,
+        help="best-of-N wall-clock per ring",
+    )
+    p_bt.add_argument(
+        "--out", default="BENCH_topology.json",
+        help="path of the JSON artefact",
+    )
+    _add_obs_flags(p_bt)
+
     p_tl = sub.add_parser("timeline", help="render a schedule timeline")
     p_tl.add_argument(
         "schedule",
@@ -447,17 +514,27 @@ def _cmd_train(args) -> int:
             },
         )
 
+    topo = None
+    if args.groups is not None:
+        from .runtime import Topology, TopologyError
+
+        try:
+            topo = Topology.grid(args.world, args.groups)
+        except TopologyError as e:
+            raise SystemExit(str(e)) from None
+
     fabric = None
     tracer = None
-    if args.trace_out is not None or args.metrics_out is not None:
+    if args.trace_out is not None or args.metrics_out is not None or topo is not None:
         from .obs import Tracer
         from .runtime import Fabric
 
         if args.trace_out is not None:
-            tracer = Tracer(
-                metadata=_trace_metadata(args.strategy, args.world, spec)
-            )
-        fabric = Fabric(args.world, tracer=tracer)
+            meta = _trace_metadata(args.strategy, args.world, spec)
+            if topo is not None:
+                meta["topology"] = topo.as_dict()
+            tracer = Tracer(metadata=meta)
+        fabric = Fabric(args.world, tracer=tracer, topology=topo)
 
     if args.dp > 1:
         if args.strategy != "weipipe-interleave":
@@ -479,6 +556,11 @@ def _cmd_train(args) -> int:
           f"model={sum(c.numel for c in spec.init_chunks()):,} params")
     for i, loss in enumerate(result.losses):
         print(f"iter {spec.start_iteration + i:>4}: loss {loss:.6f}")
+    if topo is not None and fabric is not None:
+        print(f"topology={args.groups} gateways={list(topo.gateways())}")
+        for cls, t in fabric.link_traffic().items():
+            print(f"  {cls:<6}: {t['bytes']:,} bytes in {t['messages']:,} "
+                  "messages")
     if args.checkpoint_every is not None:
         print(f"checkpoint written to {args.checkpoint_path}")
     _dump_obs(fabric, tracer, args)
@@ -737,6 +819,62 @@ def _cmd_bench_overlap(args) -> int:
     return 0
 
 
+def _cmd_bench_topology(args) -> int:
+    import json
+
+    from .experiments.topology import run_topology_comparison
+
+    report = run_topology_comparison(
+        hidden=args.hidden, n_layers=args.layers, n_heads=args.heads,
+        seq_len=args.seq, vocab=args.vocab, world=args.world,
+        groups=args.groups, n_microbatches=args.microbatches,
+        microbatch_size=args.microbatch_size, iters=args.iters,
+        seed=args.seed, mode=args.mode, precision=args.precision,
+        intra_bandwidth=args.intra_bandwidth,
+        intra_latency_s=args.intra_latency,
+        inter_bandwidth=args.inter_bandwidth,
+        inter_latency_s=args.inter_latency,
+        jitter_s=args.jitter, chaos_seed=args.chaos_seed, reps=args.reps,
+        trace_path=args.trace_out, metrics_path=args.metrics_out,
+    )
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+
+    flat, hier = report["flat"], report["hier"]
+    cg, ig = report["cross_group"], report["intra_group"]
+    print(f"wire                : intra {args.intra_bandwidth / 1e9:.1f} GB/s, "
+          f"inter {args.inter_bandwidth / 1e6:.0f} MB/s, "
+          f"jitter <= {args.jitter * 1e3:.1f} ms "
+          f"(chaos seed {args.chaos_seed})")
+    print(f"groups              : {report['config']['groups']} "
+          f"(gateways {hier['extra'].get('gateways')})")
+    print(f"flat ring           : {flat['tokens_per_s']:,.0f} tokens/s "
+          f"({flat['wall_s'] * 1e3:,.0f} ms)")
+    print(f"hierarchical ring   : {hier['tokens_per_s']:,.0f} tokens/s "
+          f"({hier['wall_s'] * 1e3:,.0f} ms)")
+    print(f"speedup             : {report['speedup_tokens_per_s']:.2f}x")
+    if cg["reduction_factor"] is not None:
+        print(f"cross-group bytes   : flat {cg['flat_bytes']:,} -> "
+              f"hier {cg['hier_bytes']:,} "
+              f"({cg['reduction_factor']:.2f}x fewer: {cg['hier_lt_flat']})")
+    print(f"intra-group bytes   : conserved: {ig['equal']} "
+          f"({ig['hier_bytes']:,})")
+    print(f"boundary crossings  : {hier['extra']['inter_full_sends']} full, "
+          f"{hier['extra']['inter_ref_sends']} by reference")
+    print(f"losses bit-equal    : {report['losses_equal']}")
+    print(f"[saved to {args.out}]")
+    if "trace_path" in report:
+        print(f"[trace written to {report['trace_path']}]")
+    if "metrics_path" in report:
+        print(f"[metrics written to {report['metrics_path']}]")
+    if not report["losses_equal"]:
+        return 1
+    if not cg["hier_lt_flat"] or not ig["equal"]:
+        return 1
+    return 0
+
+
 def _cmd_timeline(args) -> int:
     from .sim import WorkloadDims, nvlink_cluster, render_timeline
     from .sim.costmodel import ExecConfig
@@ -774,6 +912,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos-sweep": lambda: _cmd_chaos_sweep(args),
         "crash-recovery": lambda: _cmd_crash_recovery(args),
         "bench-overlap": lambda: _cmd_bench_overlap(args),
+        "bench-topology": lambda: _cmd_bench_topology(args),
     }
     return handlers[args.command]()
 

@@ -25,6 +25,7 @@ from ..parallel.pipeline_zb import train_pipeline_zb
 from ..parallel.serial import train_serial
 from ..parallel.sequence_parallel import train_sequence_parallel
 from ..parallel.tensor_parallel import train_tensor_parallel
+from ..parallel.weipipe_hier import train_weipipe_hier
 from ..runtime import Fabric
 from .weipipe import train_weipipe
 
@@ -52,6 +53,9 @@ STRATEGIES: Dict[str, Callable[[TrainSpec, int, Optional[Fabric]], TrainResult]]
     "weipipe-interleave": lambda s, w, f: train_weipipe(
         s, w, mode="interleave", fabric=f
     ),
+    # two-level ring; group layout comes from the fabric's topology when
+    # it has one, else the default grid (see weipipe_hier.default_groups).
+    "weipipe-hier": lambda s, w, f: train_weipipe_hier(s, w, fabric=f),
 }
 
 

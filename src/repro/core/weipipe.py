@@ -202,6 +202,26 @@ class _WeiPipeWorker:
     def _slot_nbytes(self, slot: SlotWeights, wire: int) -> int:
         return sum(w.numel for w in slot.values()) * wire
 
+    # -- weight-flow transport hooks -------------------------------------------
+    # Both ring engines move the F/B weight slots exclusively through this
+    # pair, so a subclass can substitute the payload on selected hops (the
+    # hierarchical ring sends cache references across group boundaries)
+    # without touching the schedule, the tags, or the D accumulator path.
+
+    def _send_wslot(self, flow: str, slot: SlotWeights, it: int, turn: int) -> None:
+        """Forward one weight-flow slot to the right neighbour as tag
+        ``(flow, it, turn)``.  Sends are buffered, so this one method
+        serves both the sync and the overlap engine."""
+        self.comm.send(
+            slot, self.comm.right, (flow, it, turn),
+            nbytes=self._slot_nbytes(slot, self.w_wire),
+        )
+
+    def _resolve_wslot(self, flow: str, payload, it: int, turn: int) -> SlotWeights:
+        """Turn a received weight-flow payload (tag ``(flow, it, turn)``)
+        into the slot dict the compute code reads."""
+        return payload
+
     def _release_slot(self, slot: SlotWeights) -> None:
         """Return a slot's arenas to the pool.
 
@@ -385,8 +405,10 @@ class _WeiPipeWorker:
             tt0 = pc()
             if t > 0:
                 t0 = pc()
-                self.fwd_slot = self.comm.recv(left, ("F", it, t))
-                self.bwd_slot = self.comm.recv(left, ("B", it, t))
+                self.fwd_slot = self._resolve_wslot(
+                    "F", self.comm.recv(left, ("F", it, t)), it, t)
+                self.bwd_slot = self._resolve_wslot(
+                    "B", self.comm.recv(left, ("B", it, t)), it, t)
                 self.grad_slot = self.comm.recv(left, ("D", it, t))
                 dt = pc() - t0
                 self._h_wire.observe(dt)
@@ -426,14 +448,8 @@ class _WeiPipeWorker:
                     tr.complete("W", "compute", c0, dt,
                                 {"turn": t, "slot": slot, "mb": mb})
 
-            self.comm.send(
-                self.fwd_slot, right, ("F", it, t + 1),
-                nbytes=self._slot_nbytes(self.fwd_slot, self.w_wire),
-            )
-            self.comm.send(
-                self.bwd_slot, right, ("B", it, t + 1),
-                nbytes=self._slot_nbytes(self.bwd_slot, self.w_wire),
-            )
+            self._send_wslot("F", self.fwd_slot, it, t + 1)
+            self._send_wslot("B", self.bwd_slot, it, t + 1)
             self.comm.send(
                 self.grad_slot, right, ("D", it, t + 1),
                 nbytes=self._slot_nbytes(self.grad_slot, self.d_wire),
@@ -447,8 +463,10 @@ class _WeiPipeWorker:
 
         # final hop brings every slot back to its home position.
         t0 = pc()
-        self.fwd_slot = self.comm.recv(left, ("F", it, total))
-        self.bwd_slot = self.comm.recv(left, ("B", it, total))
+        self.fwd_slot = self._resolve_wslot(
+            "F", self.comm.recv(left, ("F", it, total)), it, total)
+        self.bwd_slot = self._resolve_wslot(
+            "B", self.comm.recv(left, ("B", it, total)), it, total)
         self.grad_slot = self.comm.recv(left, ("D", it, total))
         dt = pc() - t0
         self._h_wire.observe(dt)
@@ -475,8 +493,8 @@ class _WeiPipeWorker:
             tt0 = pc()
             if t > 0:
                 t0 = pc()
-                self.fwd_slot = nf.wait()
-                self.bwd_slot = nb.wait()
+                self.fwd_slot = self._resolve_wslot("F", nf.wait(), it, t)
+                self.bwd_slot = self._resolve_wslot("B", nb.wait(), it, t)
                 dt = pc() - t0
                 self._h_wire.observe(dt)
                 if traced:
@@ -486,14 +504,8 @@ class _WeiPipeWorker:
             nf = comm.irecv(left, ("F", it, nxt))
             nb = comm.irecv(left, ("B", it, nxt))
             nd = comm.irecv(left, ("D", it, nxt))
-            comm.isend(
-                self.fwd_slot, right, ("F", it, nxt),
-                nbytes=self._slot_nbytes(self.fwd_slot, self.w_wire),
-            )
-            comm.isend(
-                self.bwd_slot, right, ("B", it, nxt),
-                nbytes=self._slot_nbytes(self.bwd_slot, self.w_wire),
-            )
+            self._send_wslot("F", self.fwd_slot, it, nxt)
+            self._send_wslot("B", self.bwd_slot, it, nxt)
 
             task: TurnTask = task_fn(self.rank, t)
             if task.fwd is not None:
@@ -567,8 +579,8 @@ class _WeiPipeWorker:
 
         # final hop brings every slot back to its home position.
         t0 = pc()
-        self.fwd_slot = nf.wait()
-        self.bwd_slot = nb.wait()
+        self.fwd_slot = self._resolve_wslot("F", nf.wait(), it, total)
+        self.bwd_slot = self._resolve_wslot("B", nb.wait(), it, total)
         self.grad_slot = nd.wait()
         dt = pc() - t0
         self._h_wire.observe(dt)

@@ -14,9 +14,11 @@ or via the CLI's ``trace`` command / ``--trace`` flags.
 """
 
 from .analyze import (
+    HIER_TRAFFIC_TOL,
     RATIO_TOL,
     WALL_TOL,
     analyze_trace,
+    link_traffic,
     load_trace,
     per_turn_chunks,
     reconcile,
@@ -46,6 +48,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "link_traffic",
     "load_trace",
     "analyze_trace",
     "per_turn_chunks",
@@ -53,4 +56,5 @@ __all__ = [
     "validate_chrome_trace",
     "WALL_TOL",
     "RATIO_TOL",
+    "HIER_TRAFFIC_TOL",
 ]

@@ -55,15 +55,23 @@ __all__ = [
     "load_trace",
     "analyze_trace",
     "per_turn_chunks",
+    "link_traffic",
     "reconcile",
     "WALL_TOL",
     "RATIO_TOL",
+    "HIER_TRAFFIC_TOL",
 ]
 
 #: accepted factor between predicted and measured iteration wall clock.
 WALL_TOL = 3.0
 #: accepted relative error on the measured backward/forward span ratio.
 RATIO_TOL = 0.75
+#: accepted factor between the steady-state boundary-traffic prediction
+#: and the measured per-turn cross-group bytes of a hierarchical trace.
+#: The measurement includes the first-revolution full crossings and the
+#: update pass's inject hop, which amortise to well under 2x for any
+#: schedule with at least one steady round.
+HIER_TRAFFIC_TOL = 2.0
 
 WEIPIPE_FLOWS = ("F", "B", "D")
 
@@ -140,6 +148,86 @@ def _subtract(
             k += 1
         if cur < e:
             out.append((cur, e))
+    return out
+
+
+# -- link classification (topology-aware traces) -------------------------------
+
+
+def _group_of_map(meta: Dict) -> Optional[Dict[int, int]]:
+    """``rank -> group`` from trace metadata, or None for flat traces.
+
+    Topology-aware runs record ``metadata["topology"]["groups"]`` (the
+    :meth:`repro.runtime.Topology.as_dict` form); a bare
+    ``metadata["groups"]`` list-of-lists is accepted too.
+    """
+    groups = (meta.get("topology") or {}).get("groups") or meta.get("groups")
+    if not groups:
+        return None
+    return {int(r): gi for gi, g in enumerate(groups) for r in g}
+
+
+def _link_class(src: int, dst: int, group_of: Dict[int, int]) -> str:
+    if src == dst:
+        return "local"
+    return "intra" if group_of.get(src) == group_of.get(dst) else "inter"
+
+
+def link_traffic(doc: Dict) -> Optional[Dict]:
+    """Per-link-class traffic measured off ``send`` instants.
+
+    Requires topology groups in the metadata (None otherwise).  Returns
+    ``{"intra": {"bytes", "messages"}, "inter": {...}, "by_kind": {...}}``
+    where ``by_kind`` splits the same bytes per link class *and* flow
+    kind — the view the cross-group-traffic reconciliation reads.
+    """
+    group_of = _group_of_map(doc.get("metadata", {}))
+    if group_of is None:
+        return None
+    totals: Dict[str, Dict[str, int]] = {}
+    by_kind: Dict[str, Dict[str, Dict[str, int]]] = {}
+    for ev in doc["traceEvents"]:
+        if ev.get("ph") != "i" or ev.get("name") != "send":
+            continue
+        args = ev.get("args") or {}
+        if "dst" not in args:
+            continue
+        cls = _link_class(int(ev["pid"]), int(args["dst"]), group_of)
+        nbytes = int(args.get("nbytes", 0))
+        bucket = totals.setdefault(cls, {"bytes": 0, "messages": 0})
+        bucket["bytes"] += nbytes
+        bucket["messages"] += 1
+        kind = str(args.get("kind", "?"))
+        kb = by_kind.setdefault(cls, {}).setdefault(
+            kind, {"bytes": 0, "messages": 0}
+        )
+        kb["bytes"] += nbytes
+        kb["messages"] += 1
+    if not totals:
+        return None
+    return {**totals, "by_kind": by_kind}
+
+
+def _wire_split_us(
+    spans: List[Dict], pid: int, group_of: Dict[int, int], world: int
+) -> Dict[str, float]:
+    """Summed wire-span time per link class for one rank.
+
+    ``wait``/``recv`` spans carry their source in args; the ring
+    engines' ``wait:slots``/``wait:D`` spans do not, but the ring only
+    ever waits on its left neighbour ``(pid - 1) mod P``.  Raw sums (not
+    unions): this is attribution of wait time per link, so overlapping
+    waits count per-wait.
+    """
+    out = {"intra": 0.0, "inter": 0.0, "local": 0.0}
+    for ev in spans:
+        if ev.get("cat") != "wire":
+            continue
+        args = ev.get("args") or {}
+        src = args.get("src")
+        if src is None:
+            src = (pid - 1) % world if world > 0 else pid
+        out[_link_class(int(src), pid, group_of)] += ev.get("dur", 0.0)
     return out
 
 
@@ -229,6 +317,17 @@ def analyze_trace(doc: Dict) -> Dict:
         "other_s": max(crit_wall - covered, 0.0),
     }
 
+    # topology-aware traces additionally attribute wire waits per link
+    # class (which link a blocked receiver was actually waiting on).
+    meta = doc.get("metadata", {})
+    group_of = _group_of_map(meta)
+    if group_of is not None:
+        world = int(meta.get("world", len(group_of)))
+        for pid, spans in by_rank.items():
+            split = _wire_split_us(spans, pid, group_of, world)
+            per_rank[pid]["wire_wait_intra_s"] = split["intra"] / 1e6
+            per_rank[pid]["wire_wait_inter_s"] = split["inter"] / 1e6
+
     ranks = sorted(per_rank)
     n = len(ranks)
     summary = {
@@ -243,12 +342,20 @@ def analyze_trace(doc: Dict) -> Dict:
         ) / n,
         "wall_s_max": max(per_rank[p]["wall_s"] for p in ranks),
     }
+    if group_of is not None:
+        summary["wire_wait_intra_s_total"] = sum(
+            per_rank[p].get("wire_wait_intra_s", 0.0) for p in ranks
+        )
+        summary["wire_wait_inter_s_total"] = sum(
+            per_rank[p].get("wire_wait_inter_s", 0.0) for p in ranks
+        )
     return {
         "metadata": doc.get("metadata", {}),
         "per_rank": per_rank,
         "summary": summary,
         "critical_path": critical_path,
         "per_turn": per_turn_chunks(doc),
+        "link_traffic": link_traffic(doc),
     }
 
 
@@ -405,4 +512,49 @@ def reconcile(
         "within_tolerance": (1.0 / wall_tol) <= ratio <= wall_tol,
         "tolerance_factor": wall_tol,
     }
+
+    # (c) cross-group traffic of a hierarchical (two-level ring) trace.
+    # The prediction is self-calibrating in the same spirit as the
+    # compute calibration: W/D chunk sizes are read off the trace's own
+    # intra-hop sends, and the cost model contributes only the
+    # steady-state *shape* — a boundary hop carries 1 D + 2 reference
+    # tokens while an intra hop carries the full 2 W + 1 D
+    # (CostModel.hier_boundary_turn_bytes).  Measured per-turn boundary
+    # bytes sit above that floor by the amortised first-revolution full
+    # crossings, bounded by HIER_TRAFFIC_TOL.
+    lt = link_traffic(doc)
+    if (
+        lt is not None
+        and "hier" in str(meta.get("strategy", ""))
+        and lt.get("by_kind", {}).get("inter", {}).get("D", {}).get("messages")
+        and lt.get("by_kind", {}).get("intra", {}).get("F", {}).get("messages")
+    ):
+        from ..runtime.topology import WREF_NBYTES
+
+        bk = lt["by_kind"]
+        w_chunk = bk["intra"]["F"]["bytes"] / bk["intra"]["F"]["messages"]
+        d_msgs = bk["inter"]["D"]["messages"]
+        d_chunk = bk["inter"]["D"]["bytes"] / d_msgs
+        measured_flow_bytes = sum(
+            bk["inter"].get(k, {}).get("bytes", 0) for k in WEIPIPE_FLOWS
+        )
+        # D crosses every boundary every hop, so its message count *is*
+        # the number of (boundary, turn) cells to normalise by.
+        measured_per_turn = measured_flow_bytes / d_msgs
+        predicted_steady = d_chunk + 2 * WREF_NBYTES
+        predicted_flat = 2 * w_chunk + d_chunk
+        traffic_ratio = measured_per_turn / predicted_steady
+        result["hier_traffic"] = {
+            "w_chunk_bytes": w_chunk,
+            "d_chunk_bytes": d_chunk,
+            "predicted_steady_inter_bytes_per_turn": predicted_steady,
+            "predicted_flat_inter_bytes_per_turn": predicted_flat,
+            "measured_inter_bytes_per_turn": measured_per_turn,
+            "ratio": traffic_ratio,
+            "within_tolerance": (
+                1.0 <= traffic_ratio <= HIER_TRAFFIC_TOL
+                and measured_per_turn < predicted_flat
+            ),
+            "tolerance_factor": HIER_TRAFFIC_TOL,
+        }
     return result

@@ -1,0 +1,251 @@
+"""Topology-aware hierarchical WeiPipe: a two-level weight ring.
+
+The flat WeiPipe ring ships ``2 W + 1 D`` chunks over *every* hop every
+turn, so a ring hop that crosses a slow inter-group link (server
+boundary) pays the full weight volume ``T`` times per iteration even
+though the weights never change mid-iteration — the same ``W`` slot
+crosses the same boundary ``T/P`` times carrying identical bytes.
+TawPipe's observation (PAPERS.md) is that weights only need to cross
+each boundary *once*; after that the fast intra-group links can share
+them.
+
+This module realises that on the functional runtime while staying
+**bit-exact** with the flat ring:
+
+* The ring order, schedule, tags and the circulating gradient
+  accumulator ``D`` are untouched.  ``D`` is a running sum whose value
+  depends on the order contributions are added, so it must keep visiting
+  every rank in flat-ring order — re-routing it gateway-to-gateway would
+  change accumulation order and break bit-exactness.  ``D`` is also the
+  *small* flow (one chunk per turn vs two), so the win lives in ``W``.
+* Weight slots are constant within an iteration (owners step them only
+  in the update pass), so on a ring hop that crosses a group boundary
+  the full payload is sent only while the tag's turn is within the first
+  ring revolution (``turn <= P`` — each of the ``P`` slots crosses each
+  boundary exactly once per flow).  Every later crossing sends a
+  24-byte *weight reference* instead.
+* The **gateway** — the lowest rank of each group, the rank through
+  which the ring enters the group — keeps a per-iteration cache of the
+  full slots it received during the first revolution and resolves
+  references against it.  Because the in-process fabric circulates slot
+  objects (arena-backed :class:`~repro.nn.params.ParamStruct` views),
+  the cached slot *is* the object the flat ring would have delivered:
+  results are not just bit-equal but object-identical.
+* Inside a group nothing changes: intra-group hops carry the same full
+  payloads as the flat ring, which is the "share weights on fast
+  intra-group links" half of the two-level design and is what the
+  intra-bytes-conserved test pins.
+
+Cross-group volume per boundary per iteration drops from
+``T * (2 W + 1 D)`` to ``P * 2 W + T * (1 D + 2 ref)`` — for the
+paper-style ``T ~= 2 N >> P`` that is nearly the 3x -> 1x chunk
+reduction per turn that makes a slow boundary link stop pacing the
+ring.  Degenerate layouts reduce exactly: one group (``1xP``) has no
+boundaries and is the flat ring verbatim; all-singleton groups
+(``Px1``, built with ``allow_singleton=True``) make every rank a
+gateway and every hop a cached boundary — still bit-exact, with the
+whole model cached everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+from ..core.schedule import bwd_slot_held, fwd_slot_held
+from ..core.weipipe import SlotWeights, _WeiPipeWorker, slot_chunk_ids
+from ..parallel.common import TrainResult, TrainSpec
+from ..runtime import (
+    WREF_NBYTES,
+    Communicator,
+    Fabric,
+    Topology,
+    all_gather,
+    run_workers,
+)
+
+__all__ = ["train_weipipe_hier", "default_groups", "WREF_MARK"]
+
+#: first element of a weight-reference payload; the tuple is
+#: ``(WREF_MARK, flow, slot_id)`` and is ledgered at WREF_NBYTES.
+WREF_MARK = "hier-wref"
+
+
+def default_groups(world_size: int) -> str:
+    """The default ``GxR`` layout: two equal groups when the world splits
+    evenly into non-singleton halves, otherwise one flat group."""
+    if world_size >= 4 and world_size % 2 == 0:
+        return f"2x{world_size // 2}"
+    return f"1x{world_size}"
+
+
+class _WeiPipeHierWorker(_WeiPipeWorker):
+    """A flat-ring worker whose weight-flow transport is boundary-aware.
+
+    Only the two transport hooks differ from the base class; schedule,
+    compute, D handling and the update pass are inherited unchanged —
+    that inheritance *is* the bit-exactness argument.
+    """
+
+    def __init__(self, comm: Communicator, spec: TrainSpec, mode: str,
+                 topology: Topology, overlap: bool = True):
+        super().__init__(comm, spec, mode, overlap=overlap)
+        self.topo = topology
+        # boundary structure is static: precompute whether this rank's
+        # ring sends (to right) and receives (from left) cross groups.
+        self._right_cross = topology.link_class(self.rank, comm.right) == "inter"
+        self._left_cross = topology.link_class(comm.left, self.rank) == "inter"
+        # per-iteration gateway cache: flow -> slot id -> slot dict.
+        self._wcache: Dict[str, Dict[int, SlotWeights]] = {"F": {}, "B": {}}
+        self._wcache_it: Optional[int] = None
+        self.inter_full_sends = 0
+        self.inter_ref_sends = 0
+        m = comm.fabric.metrics
+        self._m_full = m.counter("weipipe_hier_full_crossings_total",
+                                 rank=self.rank)
+        self._m_ref = m.counter("weipipe_hier_ref_crossings_total",
+                                rank=self.rank)
+
+    def _slot_id_at(self, flow: str, rank: int, turn: int) -> int:
+        """Which slot ``rank`` holds on flow ``flow`` during ``turn`` —
+        the schedule's placement law, shared with the ``_check_slot``
+        asserts so a cache-resolution bug trips the same invariant."""
+        if flow == "F":
+            return fwd_slot_held(rank, turn, self.world)
+        return bwd_slot_held(rank, turn, self.world)
+
+    def _send_wslot(self, flow: str, slot: SlotWeights, it: int, turn: int) -> None:
+        if self._right_cross:
+            if turn > self.world:
+                # this slot already crossed this boundary during the
+                # first revolution of iteration `it`: ship a reference.
+                sid = self._slot_id_at(flow, self.comm.right, turn)
+                self.comm.send((WREF_MARK, flow, sid), self.comm.right,
+                               (flow, it, turn), nbytes=WREF_NBYTES)
+                self.inter_ref_sends += 1
+                self._m_ref.add(1)
+                return
+            self.inter_full_sends += 1
+            self._m_full.add(1)
+        super()._send_wslot(flow, slot, it, turn)
+
+    def _resolve_wslot(self, flow: str, payload, it: int, turn: int) -> SlotWeights:
+        if self._wcache_it != it:
+            # slots are stepped (and forward copies re-injected) between
+            # iterations, so references never outlive their iteration.
+            self._wcache = {"F": {}, "B": {}}
+            self._wcache_it = it
+        if (isinstance(payload, tuple) and len(payload) == 3
+                and payload[0] == WREF_MARK):
+            mark_flow, sid = payload[1], payload[2]
+            expected = self._slot_id_at(flow, self.rank, turn)
+            if mark_flow != flow or sid != expected:
+                raise AssertionError(
+                    f"hier ring: reference names {mark_flow} slot {sid} but "
+                    f"rank {self.rank} expects {flow} slot {expected} at "
+                    f"turn {turn}"
+                )
+            try:
+                return self._wcache[flow][sid]
+            except KeyError:
+                raise AssertionError(
+                    f"hier ring: {flow} slot {sid} referenced before its "
+                    f"first-revolution crossing reached rank {self.rank}"
+                ) from None
+        if self._left_cross:
+            sid = self._slot_id_at(flow, self.rank, turn)
+            self._wcache[flow][sid] = payload
+        return payload
+
+
+def _resolve_topology(
+    world_size: int,
+    topology: Optional[Topology],
+    groups: Optional[str],
+    fabric: Optional[Fabric],
+) -> Topology:
+    if topology is not None and groups is not None:
+        raise ValueError("pass either topology or groups, not both")
+    if topology is None:
+        if groups is not None:
+            topology = Topology.grid(world_size, groups)
+        elif fabric is not None and getattr(fabric, "topology", None) is not None:
+            topology = fabric.topology
+        else:
+            topology = Topology.grid(world_size, default_groups(world_size))
+    if topology.world_size != world_size:
+        raise ValueError(
+            f"topology is for world_size {topology.world_size}, "
+            f"training uses {world_size}"
+        )
+    return topology
+
+
+def _worker(comm: Communicator, spec: TrainSpec, mode: str,
+            topology: Topology, overlap: bool) -> TrainResult:
+    w = _WeiPipeHierWorker(comm, spec, mode, topology, overlap=overlap)
+    losses = [w.run_iteration(it) for it in range(spec.iters)]
+    owned = {i: w.bwd_slot[i] for i in w.opt_states}
+    gathered = all_gather(comm, owned, tag=("wp-final",))
+    merged = {}
+    for d in gathered:
+        merged.update(d)
+    chunks = [merged[i] for i in range(spec.cfg.n_layers)]
+    if w.pending_w:  # pragma: no cover - invariant
+        raise AssertionError("deferred W passes left undone at exit")
+    return TrainResult(
+        losses=losses,
+        chunks=chunks,
+        extra={
+            "rank": w.rank,
+            "peak_inflight": w.peak_inflight,
+            "wire_wait_s": w._h_wire.total,
+            "compute_s": w._h_compute.total,
+            "inter_full_sends": w.inter_full_sends,
+            "inter_ref_sends": w.inter_ref_sends,
+            "is_gateway": topology.is_gateway(w.rank),
+        },
+    )
+
+
+def train_weipipe_hier(
+    spec: TrainSpec,
+    world_size: int,
+    topology: Optional[Topology] = None,
+    groups: Optional[str] = None,
+    mode: str = "interleave",
+    fabric: Optional[Fabric] = None,
+    overlap: bool = True,
+) -> TrainResult:
+    """Train with the two-level (topology-aware) WeiPipe ring.
+
+    The group layout comes from, in order of precedence: an explicit
+    ``topology``, a ``groups`` shape string (``"2x2"``), the ``fabric``'s
+    own topology, or :func:`default_groups`.  Results are bit-identical
+    to :func:`repro.core.weipipe.train_weipipe` with the same ``spec`` /
+    ``mode`` / ``overlap`` on any wire — the hierarchy changes what
+    crosses slow links, not what is computed (enforced by
+    ``tests/integration/test_weipipe_hier.py``).
+    """
+    slot_chunk_ids(0, world_size, spec.cfg.n_layers)  # validates divisibility
+    if spec.n_microbatches % world_size != 0:
+        raise ValueError("n_microbatches must be divisible by world_size")
+    topo = _resolve_topology(world_size, topology, groups, fabric)
+    results = run_workers(
+        world_size,
+        lambda comm: _worker(comm, spec, mode, topo, overlap),
+        fabric=fabric,
+    )
+    by_rank = {r.extra["rank"]: r.extra for r in results}
+    return TrainResult(
+        losses=results[0].losses,
+        chunks=results[0].chunks,
+        extra={
+            "groups": [list(g) for g in topo.groups],
+            "gateways": list(topo.gateways()),
+            "peak_inflight": {r: e["peak_inflight"] for r, e in by_rank.items()},
+            "wire_wait_s": {r: e["wire_wait_s"] for r, e in by_rank.items()},
+            "compute_s": {r: e["compute_s"] for r, e in by_rank.items()},
+            "inter_full_sends": sum(e["inter_full_sends"] for e in by_rank.values()),
+            "inter_ref_sends": sum(e["inter_ref_sends"] for e in by_rank.values()),
+        },
+    )

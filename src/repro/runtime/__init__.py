@@ -20,6 +20,15 @@ from .launcher import WorkerError, run_workers, run_workers_elastic
 from .message import Message, TrafficStats, payload_nbytes, tag_kind
 from .recovery import ElasticResult, RecoveryEvent, elastic_worker
 from .subgroup import SubCommunicator, split_grid
+from .topology import (
+    DEFAULT_INTER,
+    DEFAULT_INTRA,
+    WREF_NBYTES,
+    LinkSpec,
+    Topology,
+    TopologyError,
+    parse_group_shape,
+)
 
 __all__ = [
     "ChaosCrash",
@@ -33,9 +42,16 @@ __all__ = [
     "PeerFailed",
     "RecoveryEvent",
     "RecvTimeout",
+    "DEFAULT_INTER",
+    "DEFAULT_INTRA",
+    "LinkSpec",
     "Message",
+    "Topology",
+    "TopologyError",
     "TrafficStats",
+    "WREF_NBYTES",
     "WorkerError",
+    "parse_group_shape",
     "all_gather",
     "all_reduce",
     "barrier",

@@ -166,8 +166,10 @@ class ChaosFabric(Fabric):
         timeout: float = 60.0,
         tracer=None,
         metrics=None,
+        topology=None,
     ):
-        super().__init__(world_size, timeout=timeout, tracer=tracer, metrics=metrics)
+        super().__init__(world_size, timeout=timeout, tracer=tracer,
+                         metrics=metrics, topology=topology)
         self.policy = policy if policy is not None else ChaosPolicy()
         self.chaos = ChaosStats()
         # registry mirrors of the injection tallies (ChaosStats stays the
@@ -179,6 +181,13 @@ class ChaosFabric(Fabric):
         # wire state, all guarded by self._cond's lock:
         self._limbo: List[Tuple[float, int, Tuple, int, Message]] = []  # heap
         self._tie = itertools.count()
+        # per-directed-link "busy until" clock: a link is a serial
+        # resource, so concurrent messages on the same (src, dst) queue
+        # behind each other.  This is what makes *byte volume* (not just
+        # message count) show up in wall clock — the effect the
+        # hierarchical ring exploits by replacing full weight slots with
+        # 24-byte references on the slow boundary links.
+        self._link_busy: Dict[Tuple[int, int], float] = {}
         self._chan_send_seq: Dict[Tuple, int] = {}
         self._chan_next: Dict[Tuple, int] = {}
         self._chan_pending: Dict[Tuple, Dict[int, Message]] = {}
@@ -208,8 +217,16 @@ class ChaosFabric(Fabric):
             self.chaos.posts += 1
 
             d = pol.decide(msg.src, msg.dst, msg.tag, seq)
-            now = _now()
-            arrival = now + d.delay
+            # Topology serialization is deterministic in (src, dst,
+            # nbytes) and additive with the seeded jitter: the chaos
+            # decision itself never looks at message size, so two runs
+            # that differ only in payload bytes face the *same* adversary
+            # on a faster or slower wire — exactly what the
+            # hierarchical-vs-flat differential needs.  The link clock
+            # below adds queueing on top: messages sharing a directed
+            # link transmit one after another (retransmissions pay only
+            # the extra retry latency, not a second occupancy slot).
+            arrival = self._occupy_locked(msg) + d.delay
             if d.delay > 0.0:
                 self.chaos.delayed += 1
                 self._m_injected["delay"].add(1)
@@ -225,10 +242,36 @@ class ChaosFabric(Fabric):
                 self.chaos.extra_wire_bytes += msg.nbytes
                 self._m_injected["duplicate"].add(1)
                 heapq.heappush(
-                    self._limbo, (now + d.dup_delay, next(self._tie), chan, seq, msg)
+                    self._limbo,
+                    (self._occupy_locked(msg) + d.dup_delay, next(self._tie), chan, seq, msg),
                 )
             self._pump_locked()
             self._cond.notify_all()
+
+    def link_delay(self, src: int, dst: int, nbytes: int) -> float:
+        """Deterministic per-link serialization delay (0 without topology).
+
+        Pure in ``(src, dst, nbytes)`` — exposed so the latency-ordering
+        property tests can check it without racing the wall clock."""
+        if self.topology is None:
+            return 0.0
+        return self.topology.wire_time(src, dst, nbytes)
+
+    def _occupy_locked(self, msg: Message) -> float:
+        """Reserve the message's directed link; return transmit-done time.
+
+        A link is serial: transmission starts at ``max(now, link busy
+        until)`` and holds the link for :meth:`link_delay` seconds.
+        Without a topology there is no serialization and this is simply
+        ``now``.  Caller holds the fabric lock."""
+        now = _now()
+        wire = self.link_delay(msg.src, msg.dst, msg.nbytes)
+        if wire <= 0.0:
+            return now
+        key = (msg.src, msg.dst)
+        done = max(now, self._link_busy.get(key, 0.0)) + wire
+        self._link_busy[key] = done
+        return done
 
     def _pump_locked(self) -> int:
         """Move every due limbo message into the mailbox (caller holds lock).

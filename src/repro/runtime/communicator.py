@@ -42,6 +42,7 @@ from typing import Any, Deque, Dict, Optional, Tuple
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import NULL_TRACER
 from .message import Message, TrafficStats, payload_nbytes, tag_kind
+from .topology import Topology
 
 __all__ = ["Fabric", "Communicator", "RecvTimeout", "FabricAborted", "PeerFailed"]
 
@@ -86,11 +87,22 @@ class Fabric:
         timeout: float = 60.0,
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
+        topology: Optional[Topology] = None,
     ):
         if world_size < 1:
             raise ValueError("world_size must be >= 1")
+        if topology is not None and topology.world_size != world_size:
+            raise ValueError(
+                f"topology is for world_size {topology.world_size}, "
+                f"fabric has {world_size}"
+            )
         self.world_size = world_size
         self.timeout = timeout
+        #: optional per-link topology; when set, traffic is additionally
+        #: ledgered per link class (intra/inter) and the chaos wire adds a
+        #: deterministic serialization delay per link.  The plain fabric
+        #: still delivers instantly — topology here is accounting-only.
+        self.topology = topology
         #: per-rank timeline recorder; NULL_TRACER (allocation-free
         #: no-ops) unless a real one is attached — see repro.obs.
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -100,6 +112,10 @@ class Fabric:
         # cached per-kind counter handles so the per-message hot path
         # does one dict lookup, not a registry resolution.
         self._traffic_handles: Dict[str, Tuple[Any, Any]] = {}
+        # ditto for the per-link-class handles (topology fabrics only).
+        self._link_handles: Dict[str, Tuple[Any, Any]] = {}
+        self._link_bytes: Dict[str, int] = {}
+        self._link_msgs: Dict[str, int] = {}
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         # mailbox[dst][(src, tag)] -> FIFO of messages
@@ -160,6 +176,29 @@ class Fabric:
             self._traffic_handles[kind] = handles
         handles[0].add(msg.nbytes)
         handles[1].add(1)
+        if self.topology is not None:
+            cls = self.topology.link_class(msg.src, msg.dst)
+            link_handles = self._link_handles.get(cls)
+            if link_handles is None:
+                link_handles = (
+                    self.metrics.counter("fabric_link_bytes_total", link=cls),
+                    self.metrics.counter("fabric_link_messages_total", link=cls),
+                )
+                self._link_handles[cls] = link_handles
+            link_handles[0].add(msg.nbytes)
+            link_handles[1].add(1)
+            self._link_bytes[cls] = self._link_bytes.get(cls, 0) + msg.nbytes
+            self._link_msgs[cls] = self._link_msgs.get(cls, 0) + 1
+
+    def link_traffic(self) -> Dict[str, Dict[str, int]]:
+        """Per-link-class logical traffic so far (topology fabrics only):
+        ``{"intra": {"bytes": ..., "messages": ...}, "inter": {...}}``."""
+        with self._lock:
+            return {
+                cls: {"bytes": self._link_bytes.get(cls, 0),
+                      "messages": self._link_msgs.get(cls, 0)}
+                for cls in sorted(set(self._link_bytes) | set(self._link_msgs))
+            }
 
     # hooks the chaos wire overrides -------------------------------------------
 

@@ -9,7 +9,11 @@ from .analytic import (
     bubble_ratio_weipipe_interleave,
     bubble_ratio_weipipe_naive,
     ideal_iteration_time,
+    weipipe_cross_bytes,
+    weipipe_hier_cross_bytes,
+    weipipe_hier_turn_time,
     weipipe_turn_bandwidth,
+    weipipe_turn_time,
 )
 from .costmodel import CostModel, ExecConfig, WorkloadDims
 from .engine import SimResult, Task, TaskGraph, simulate
@@ -60,5 +64,9 @@ __all__ = [
     "render_timeline",
     "run_cell",
     "simulate",
+    "weipipe_cross_bytes",
+    "weipipe_hier_cross_bytes",
+    "weipipe_hier_turn_time",
     "weipipe_turn_bandwidth",
+    "weipipe_turn_time",
 ]

@@ -23,8 +23,15 @@ __all__ = [
     "ideal_iteration_time",
     "weipipe_turn_bandwidth",
     "weipipe_turn_time",
+    "weipipe_hier_turn_time",
+    "weipipe_hier_cross_bytes",
+    "weipipe_cross_bytes",
     "activation_pp_bandwidth",
 ]
+
+#: wire size of a hierarchical weight-reference token — must match
+#: repro.runtime.topology.WREF_NBYTES (pinned by tests/sim).
+HIER_REF_BYTES = 24
 
 
 def ideal_iteration_time(t_f: float, t_b: float, n_mb: int) -> float:
@@ -113,6 +120,74 @@ def weipipe_turn_time(
     per_turn_bytes = 2 * cost.weight_chunk_bytes(lps) + cost.wgrad_chunk_bytes(lps)
     wire = max(link.time(per_turn_bytes) for link in cluster.ring_links())
     return cost.overlapped(compute, wire)
+
+
+def weipipe_hier_turn_time(
+    dims: WorkloadDims,
+    cluster: Cluster,
+    exec_cfg: ExecConfig = ExecConfig(),
+    steady: bool = True,
+) -> float:
+    """Steady-state turn time of the *hierarchical* (two-level) ring.
+
+    Intra-group hops still move the full ``2 W + 1 D``; a boundary hop
+    moves only ``1 D + 2 ref`` once the first revolution has carried
+    every weight slot across (``steady=True``).  The wire leg is paced by
+    the slower of the two hop classes — on an asymmetric fabric that is
+    the boundary hop, whose volume the hierarchy just cut ~3x, which is
+    the whole win.  ``steady=False`` gives the first-revolution turn
+    (full weights still crossing): identical to the flat ring.
+
+    A single-node cluster has no boundary hops and reduces to
+    :func:`weipipe_turn_time` exactly; so does ``steady=False``.
+    """
+    cost = CostModel(dims, cluster.gpu, exec_cfg)
+    lps = dims.n_layers // cluster.world_size
+    compute = lps * (cost.t_fwd_layer() + cost.t_bwd_layer())
+    full = cost.weipipe_turn_bytes(lps)
+    legs = [cluster.intra.time(full)] if cluster.gpus_per_node > 1 else []
+    if cluster.nodes > 1:
+        boundary = (
+            cost.hier_boundary_turn_bytes(lps, ref_bytes=HIER_REF_BYTES)
+            if steady
+            else full
+        )
+        legs.append(cluster.inter.time(boundary))
+    wire = max(legs) if legs else 0.0
+    return cost.overlapped(compute, wire)
+
+
+def weipipe_cross_bytes(
+    dims: WorkloadDims,
+    cluster: Cluster,
+    total_turns: int,
+    exec_cfg: ExecConfig = ExecConfig(),
+) -> int:
+    """Flat-ring bytes crossing *one* node boundary per iteration: the
+    full ``2 W + 1 D`` every turn, plus the final homing hop."""
+    cost = CostModel(dims, cluster.gpu, exec_cfg)
+    lps = dims.n_layers // cluster.world_size
+    return (total_turns + 1) * cost.weipipe_turn_bytes(lps)
+
+
+def weipipe_hier_cross_bytes(
+    dims: WorkloadDims,
+    cluster: Cluster,
+    total_turns: int,
+    exec_cfg: ExecConfig = ExecConfig(),
+) -> int:
+    """Hierarchical-ring bytes crossing one node boundary per iteration:
+    each of the ``P`` slots crosses once in full per weight flow, the D
+    accumulator crosses every turn (and the final homing hop), and every
+    later weight crossing is a reference token."""
+    cost = CostModel(dims, cluster.gpu, exec_cfg)
+    p = cluster.world_size
+    lps = dims.n_layers // p
+    hops = total_turns + 1  # ring turns + the final homing hop
+    full_w = 2 * p * cost.weight_chunk_bytes(lps)
+    refs = 2 * (hops - p) * HIER_REF_BYTES
+    d = hops * cost.wgrad_chunk_bytes(lps)
+    return full_w + refs + d
 
 
 def activation_pp_bandwidth(

@@ -361,3 +361,69 @@ class TestTraceCLI:
         assert rc == 0
         assert json.loads(out.read_text())["trace_path"] == str(trace)
         assert validate_chrome_trace(json.loads(trace.read_text())) == []
+
+
+class TestTopologyCLI:
+    TINY = [
+        "--world", "4", "--hidden", "16", "--layers", "4", "--heads", "2",
+        "--seq", "8", "--vocab", "17", "--microbatches", "4", "--iters", "2",
+    ]
+
+    def test_train_hier_with_groups(self, capsys):
+        rc = main(["train", "--strategy", "weipipe-hier",
+                   "--groups", "2x2", *self.TINY])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "topology=2x2 gateways=[0, 2]" in out
+        assert "inter" in out and "intra" in out
+
+    def test_train_flat_on_topology_fabric(self, capsys):
+        """--groups without --strategy weipipe-hier still builds the
+        topology fabric and reports per-class traffic for the flat ring."""
+        rc = main(["train", "--groups", "2x2", *self.TINY])
+        assert rc == 0
+        assert "topology=2x2" in capsys.readouterr().out
+
+    def test_train_bad_groups_exits_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(["train", "--strategy", "weipipe-hier",
+                  "--groups", "3x3", *self.TINY])
+
+    def test_bench_topology_smoke(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "BENCH_topology.json"
+        rc = main([
+            "bench-topology", "--world", "4", "--groups", "2x2",
+            "--hidden", "8", "--layers", "4", "--heads", "2", "--seq", "8",
+            "--vocab", "16", "--microbatches", "4", "--iters", "1",
+            "--reps", "1", "--jitter", "0.0001", "--out", str(out),
+        ])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == "repro.bench_topology/v1"
+        assert report["losses_equal"] is True
+        assert report["cross_group"]["hier_lt_flat"] is True
+        assert report["intra_group"]["equal"] is True
+        printed = capsys.readouterr().out
+        assert "cross-group" in printed and "speedup" in printed
+
+    def test_bench_topology_trace_flag(self, tmp_path):
+        import json
+
+        from repro.obs import reconcile, validate_chrome_trace
+
+        out = tmp_path / "b.json"
+        trace = tmp_path / "t.json"
+        rc = main([
+            "bench-topology", "--world", "4", "--groups", "2x2",
+            "--hidden", "8", "--layers", "4", "--heads", "2", "--seq", "8",
+            "--vocab", "16", "--microbatches", "4", "--iters", "1",
+            "--reps", "1", "--jitter", "0.0001", "--out", str(out),
+            "--trace", str(trace),
+        ])
+        assert rc == 0
+        assert json.loads(out.read_text())["trace_path"] == str(trace)
+        doc = json.loads(trace.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert "hier_traffic" in reconcile(doc)
