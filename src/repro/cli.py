@@ -21,7 +21,16 @@ Commands:
 * ``crash-recovery`` — kill one worker mid-run with seeded chaos
   injection, let the survivors shrink the ring and finish, and verify
   the continuation bit-for-bit against a clean run from the rollback
-  snapshot.
+  snapshot;
+* ``self-heal`` — the transient-fault gauntlet: (1) the heal
+  differential (every WeiPipe mode × world × precision under seeded
+  bit-flip / link-flap / rank-stall schedules must be **bit-exact**
+  with its clean twin), (2) a NIC-outage rejoin scenario (a rank is
+  suspected, confirmed dead, the ring shrinks, then re-grows to the
+  full world when the rank returns), and (3) a quiet-wire control
+  (CRC framing on a clean wire must cause zero retransmits).
+  ``chaos-sweep --faults bitflip,flap,stall`` adds the same transient
+  faults to the classic serial-equivalence sweep.
 
 ``train``, ``bench-overlap`` and ``chaos-sweep`` accept ``--trace PATH``
 (write a Chrome trace of the run) and ``--metrics-out PATH`` (dump the
@@ -202,7 +211,70 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet-wire", action="store_true",
         help="disable all fault injection (control run on a clean wire)",
     )
+    p_ch.add_argument(
+        "--faults", default=None, metavar="LIST",
+        help="comma-separated transient faults to add: bitflip (payload "
+             "SDC, recovered via CRC+NACK), flap (directed-link outage "
+             "windows), stall (transient rank freezes)",
+    )
+    p_ch.add_argument("--bitflip-prob", type=float, default=0.05)
+    p_ch.add_argument("--flap-prob", type=float, default=0.05)
+    p_ch.add_argument("--flap-len", type=int, default=3)
+    p_ch.add_argument("--flap-delay", type=float, default=0.002)
+    p_ch.add_argument("--stall-prob", type=float, default=0.03)
+    p_ch.add_argument("--max-stall", type=float, default=0.008)
+    p_ch.add_argument(
+        "--retransmit-budget", type=int, default=16,
+        help="per-flow cap on CRC-driven retransmissions",
+    )
     _add_obs_flags(p_ch)
+
+    p_sh = sub.add_parser(
+        "self-heal",
+        help="transient-fault gauntlet: bit-exact heal differential, "
+             "NIC-outage rejoin scenario, quiet-wire zero-retransmit "
+             "control",
+    )
+    p_sh.add_argument(
+        "--modes", default=",".join(
+            ("weipipe-naive", "weipipe-interleave", "weipipe-zb",
+             "weipipe-hier")
+        ),
+        help="comma-separated WeiPipe modes for the heal differential",
+    )
+    p_sh.add_argument(
+        "--worlds", default="2,4",
+        help="comma-separated world sizes for the heal differential",
+    )
+    p_sh.add_argument(
+        "--precisions", default="fp64,fp32",
+        help="comma-separated precisions (fp64, fp32)",
+    )
+    p_sh.add_argument("--seed", type=int, default=0)
+    p_sh.add_argument(
+        "--strategy", default="weipipe-interleave",
+        help="strategy of the rejoin scenario",
+    )
+    p_sh.add_argument(
+        "--world", type=int, default=4,
+        help="world size of the rejoin scenario and the quiet control",
+    )
+    p_sh.add_argument(
+        "--flap-duration", type=float, default=0.45,
+        help="seconds the victim rank's NIC stays down",
+    )
+    p_sh.add_argument(
+        "--iters", type=int, default=None,
+        help="iterations of the rejoin scenario (default: 8)",
+    )
+    p_sh.add_argument(
+        "--skip-differential", action="store_true",
+        help="run only the rejoin scenario and the quiet-wire control",
+    )
+    p_sh.add_argument(
+        "--skip-rejoin", action="store_true",
+        help="run only the differential and the quiet-wire control",
+    )
 
     p_cr = sub.add_parser(
         "crash-recovery",
@@ -697,6 +769,34 @@ def _cmd_chaos_sweep(args) -> int:
             drop_prob=args.drop_prob, duplicate_prob=args.dup_prob,
             retry_delay=args.retry_delay,
         )
+    if args.faults:
+        from dataclasses import replace as _replace
+
+        known = {
+            "bitflip": dict(
+                bitflip_prob=args.bitflip_prob,
+                retransmit_budget=args.retransmit_budget,
+            ),
+            "flap": dict(
+                flap_prob=args.flap_prob, flap_len=args.flap_len,
+                flap_delay=args.flap_delay,
+            ),
+            "stall": dict(
+                stall_prob=args.stall_prob, max_stall=args.max_stall,
+            ),
+        }
+        overrides = {}
+        for fault in args.faults.split(","):
+            fault = fault.strip()
+            if not fault:
+                continue
+            if fault not in known:
+                raise SystemExit(
+                    f"unknown fault {fault!r}; choose from "
+                    f"{', '.join(known)}"
+                )
+            overrides.update(known[fault])
+        policy = _replace(policy, **overrides)
     if args.strategies is None:
         strategies = dict(DEFAULT_DIFFERENTIAL_STRATEGIES)
     else:
@@ -766,6 +866,62 @@ def _cmd_crash_recovery(args) -> int:
     )
     print(report.summary())
     return 1 if report.verified is False else 0
+
+
+def _cmd_self_heal(args) -> int:
+    from .testing import default_crash_spec, run_heal_differential, run_self_heal
+
+    failed = False
+
+    if not args.skip_differential:
+        print("== heal differential "
+              "(transient faults must be bit-invisible) ==")
+
+        def progress(cell: str, sched: str, failure) -> None:
+            status = "PASS" if failure is None else f"FAIL ({failure})"
+            print(f"  {cell:<40} {status}")
+
+        report = run_heal_differential(
+            modes=[m.strip() for m in args.modes.split(",") if m.strip()],
+            worlds=[int(w) for w in args.worlds.split(",") if w.strip()],
+            precisions=[p.strip() for p in args.precisions.split(",") if p.strip()],
+            seed=args.seed,
+            progress=progress,
+        )
+        print(report.summary())
+        failed |= not report.ok
+
+    if not args.skip_rejoin:
+        print("\n== rejoin scenario (suspect -> confirm -> shrink -> "
+              "re-grow) ==")
+        spec = (
+            default_crash_spec(iters=args.iters)
+            if args.iters is not None else None
+        )
+        heal = run_self_heal(
+            spec=spec, strategy=args.strategy, world=args.world,
+            seed=args.seed, flap_duration=args.flap_duration,
+        )
+        print(heal.summary())
+        failed |= not heal.ok
+
+    print("\n== quiet-wire control (integrity framing must be free) ==")
+    from . import train
+    from .runtime import ChaosFabric, ChaosPolicy
+    from .testing import default_differential_spec
+
+    fabric = ChaosFabric(args.world, ChaosPolicy.quiet(args.seed))
+    train(default_differential_spec(), args.strategy, args.world, fabric=fabric)
+    retx = fabric._m_heal["fabric_retransmits"].value
+    corrupt = fabric._m_heal["fabric_corrupt_frames"].value
+    print(f"quiet wire: {fabric.chaos.posts} posts, "
+          f"{retx:.0f} retransmits, {corrupt:.0f} corrupt frames")
+    if retx != 0 or corrupt != 0:
+        print("FAIL: the quiet wire retransmitted — CRC framing is not "
+              "free on a clean wire")
+        failed = True
+
+    return 1 if failed else 0
 
 
 def _cmd_bench_overlap(args) -> int:
@@ -911,6 +1067,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "timeline": lambda: _cmd_timeline(args),
         "chaos-sweep": lambda: _cmd_chaos_sweep(args),
         "crash-recovery": lambda: _cmd_crash_recovery(args),
+        "self-heal": lambda: _cmd_self_heal(args),
         "bench-overlap": lambda: _cmd_bench_overlap(args),
         "bench-topology": lambda: _cmd_bench_topology(args),
     }

@@ -18,6 +18,7 @@ from .analyze import (
     RATIO_TOL,
     WALL_TOL,
     analyze_trace,
+    heal_events,
     link_traffic,
     load_trace,
     per_turn_chunks,
@@ -51,6 +52,7 @@ __all__ = [
     "link_traffic",
     "load_trace",
     "analyze_trace",
+    "heal_events",
     "per_turn_chunks",
     "reconcile",
     "validate_chrome_trace",

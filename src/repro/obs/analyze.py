@@ -54,6 +54,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 __all__ = [
     "load_trace",
     "analyze_trace",
+    "heal_events",
     "per_turn_chunks",
     "link_traffic",
     "reconcile",
@@ -349,6 +350,9 @@ def analyze_trace(doc: Dict) -> Dict:
         summary["wire_wait_inter_s_total"] = sum(
             per_rank[p].get("wire_wait_inter_s", 0.0) for p in ranks
         )
+    heal = heal_events(doc)
+    if heal is not None:
+        summary["heal_counts"] = dict(heal["counts"])
     return {
         "metadata": doc.get("metadata", {}),
         "per_rank": per_rank,
@@ -356,6 +360,52 @@ def analyze_trace(doc: Dict) -> Dict:
         "critical_path": critical_path,
         "per_turn": per_turn_chunks(doc),
         "link_traffic": link_traffic(doc),
+        "heal": heal,
+    }
+
+
+# -- self-healing activity -----------------------------------------------------
+
+#: instant-event names emitted by the failure detector ("heal" category,
+#: :mod:`repro.runtime.communicator`) and the rejoin protocol
+#: ("recovery" category, :mod:`repro.runtime.recovery`).
+_HEAL_INSTANTS = (
+    "suspect",
+    "confirm-dead",
+    "peer-failed",
+    "rejoin-request",
+    "rejoin",
+    "rejoined",
+)
+
+
+def heal_events(doc: Dict) -> Optional[Dict]:
+    """Self-healing activity: suspicion, confirmation and rejoin instants.
+
+    Returns ``None`` when the trace holds none of them — the common
+    healthy-run case keeps its summary unchanged.  Otherwise returns
+    ``counts`` (only the names that occurred) and a time-ordered
+    ``timeline`` of ``{t_us, rank, event, args}`` entries so a report
+    can narrate the detect → shrink → rejoin sequence.
+    """
+    counts = {name: 0 for name in _HEAL_INSTANTS}
+    timeline: List[Dict] = []
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") != "i" or ev.get("name") not in counts:
+            continue
+        counts[ev["name"]] += 1
+        timeline.append({
+            "t_us": ev.get("ts", 0.0),
+            "rank": ev.get("pid"),
+            "event": ev["name"],
+            "args": ev.get("args") or {},
+        })
+    if not timeline:
+        return None
+    timeline.sort(key=lambda e: e["t_us"])
+    return {
+        "counts": {k: v for k, v in counts.items() if v},
+        "timeline": timeline,
     }
 
 

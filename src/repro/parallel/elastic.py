@@ -71,12 +71,14 @@ ELASTIC_STRATEGIES: Tuple[str, ...] = (
     "weipipe-naive",
     "weipipe-interleave",
     "weipipe-zb",
+    "weipipe-hier",
 )
 
 _WEIPIPE_MODES = {
     "weipipe-naive": "naive",
     "weipipe-interleave": "interleave",
     "weipipe-zb": "zero-bubble",
+    "weipipe-hier": "interleave",
 }
 
 #: a strategy's core compute: one iteration on a compute subgroup.
@@ -124,6 +126,16 @@ def _compute_fn(strategy: str, spec: TrainSpec) -> _ComputeFn:
         from .fsdp import fsdp_step
 
         return lambda csub, it, st: fsdp_step(csub, spec, it, st.chunks, st.opt_state)
+    if strategy == "weipipe-hier":
+        from .weipipe_hier import weipipe_hier_step
+
+        # a fresh boundary-aware worker per step re-derives the group
+        # layout from the *current* compute world and starts with empty
+        # gateway caches — every shrink or rejoin therefore invalidates
+        # all cached weight slots by construction.
+        return lambda csub, it, st: weipipe_hier_step(
+            csub, spec, it, st.chunks, st.opt_state
+        )
     if strategy in _WEIPIPE_MODES:
         from ..core.weipipe import weipipe_step
 
@@ -182,6 +194,8 @@ def train_elastic(
     timeout: float = 120.0,
     max_recoveries: Optional[int] = None,
     on_commit=None,
+    detector=None,
+    rejoin_timeout: Optional[float] = None,
 ) -> TrainResult:
     """Train with ring-shrink recovery: worker deaths shrink the group.
 
@@ -200,8 +214,17 @@ def train_elastic(
     ``opt_state`` (canonical final optimizer state), ``recovery_events``
     (list of :class:`~repro.runtime.recovery.RecoveryEvent`),
     ``rollback_states`` (the snapshots recoveries restarted from),
+    ``rejoin_events`` (list of
+    :class:`~repro.runtime.recovery.RejoinEvent` — ring re-growths),
     ``survivors``, ``worker_errors`` (per launch rank; ``None`` for
     survivors) and ``next_iteration`` (resume cursor).
+
+    Pass a :class:`~repro.runtime.detector.FailureDetector` as
+    ``detector`` to arm suspicion-based failure handling: a transiently
+    silent rank (stall, NIC flap) is confirmed dead only after the
+    adaptive phi threshold, and once it recovers it rejoins at a step
+    boundary — the ring re-grows toward the full world
+    (:mod:`repro.runtime.recovery`).
     """
     if strategy not in ELASTIC_STRATEGIES:
         raise ValueError(
@@ -223,10 +246,11 @@ def train_elastic(
             run_step=engine,
             on_commit=on_commit,
             max_recoveries=max_recoveries,
+            rejoin_timeout=rejoin_timeout,
         )
 
     results, errors = run_workers_elastic(
-        world_size, worker, timeout=timeout, fabric=fabric
+        world_size, worker, timeout=timeout, fabric=fabric, detector=detector
     )
     survivors = [r for r in range(world_size) if errors[r] is None]
     if not survivors:
@@ -245,6 +269,7 @@ def train_elastic(
         extra={
             "opt_state": res.state.opt_state,
             "recovery_events": list(res.events),
+            "rejoin_events": list(res.rejoins),
             "rollback_states": list(res.rollback_states),
             "survivors": list(res.survivors),
             "worker_errors": list(errors),

@@ -49,10 +49,12 @@ whole model cached everywhere.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple, Union
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..core.schedule import bwd_slot_held, fwd_slot_held
 from ..core.weipipe import SlotWeights, _WeiPipeWorker, slot_chunk_ids
+from ..nn.params import ParamStruct
 from ..parallel.common import TrainResult, TrainSpec
 from ..runtime import (
     WREF_NBYTES,
@@ -63,7 +65,12 @@ from ..runtime import (
     run_workers,
 )
 
-__all__ = ["train_weipipe_hier", "default_groups", "WREF_MARK"]
+__all__ = [
+    "train_weipipe_hier",
+    "weipipe_hier_step",
+    "default_groups",
+    "WREF_MARK",
+]
 
 #: first element of a weight-reference payload; the tuple is
 #: ``(WREF_MARK, flow, slot_id)`` and is ledgered at WREF_NBYTES.
@@ -128,11 +135,22 @@ class _WeiPipeHierWorker(_WeiPipeWorker):
             self._m_full.add(1)
         super()._send_wslot(flow, slot, it, turn)
 
+    def invalidate_gateway_cache(self) -> None:
+        """Drop every cached full slot; references can no longer resolve.
+
+        Called on iteration rollover and, by the elastic layer, on every
+        ring-membership change (shrink or rejoin): a slot cached under
+        one ring layout must never satisfy a reference issued under
+        another, where the placement law maps slot ids differently.
+        """
+        self._wcache = {"F": {}, "B": {}}
+        self._wcache_it = None
+
     def _resolve_wslot(self, flow: str, payload, it: int, turn: int) -> SlotWeights:
         if self._wcache_it != it:
             # slots are stepped (and forward copies re-injected) between
             # iterations, so references never outlive their iteration.
-            self._wcache = {"F": {}, "B": {}}
+            self.invalidate_gateway_cache()
             self._wcache_it = it
         if (isinstance(payload, tuple) and len(payload) == 3
                 and payload[0] == WREF_MARK):
@@ -155,6 +173,60 @@ class _WeiPipeHierWorker(_WeiPipeWorker):
             sid = self._slot_id_at(flow, self.rank, turn)
             self._wcache[flow][sid] = payload
         return payload
+
+
+def weipipe_hier_step(
+    comm: Communicator,
+    spec: TrainSpec,
+    iteration: int,
+    chunks: List[ParamStruct],
+    opt_states: List[Dict],
+    mode: str = "interleave",
+    topology: Optional[Topology] = None,
+    overlap: bool = True,
+) -> Tuple[float, List[ParamStruct], List[Dict]]:
+    """One hierarchical-ring iteration from explicit replicated state.
+
+    The step-boundary entry point elastic recovery uses
+    (:mod:`repro.parallel.elastic`), mirroring
+    :func:`repro.core.weipipe.weipipe_step` with the boundary-aware
+    transport.  ``topology`` defaults to :func:`default_groups` over the
+    *current* compute world, so a shrunken or re-grown ring gets a group
+    layout that matches its actual size.  A fresh worker is built per
+    step, which makes the gateway weight caches trivially empty at every
+    membership change: a reference issued under one ring layout can
+    never resolve against a slot cached under another (the
+    cache-invalidation half of the rejoin protocol —
+    :meth:`_WeiPipeHierWorker.invalidate_gateway_cache` is the explicit
+    form for persistent workers).
+    """
+    if topology is None:
+        topology = Topology.grid(comm.world_size, default_groups(comm.world_size))
+    elif topology.world_size != comm.world_size:
+        raise ValueError(
+            f"topology is for world_size {topology.world_size}, "
+            f"step runs on {comm.world_size}"
+        )
+    step_spec = replace(
+        spec,
+        iters=1,
+        start_iteration=spec.start_iteration + iteration,
+        initial_chunks=chunks,
+        initial_opt_state=opt_states,
+    )
+    w = _WeiPipeHierWorker(comm, step_spec, mode, topology, overlap=overlap)
+    loss = w.run_iteration(0)
+    if w.pending_w:  # pragma: no cover - invariant
+        raise AssertionError("deferred W passes left undone at step boundary")
+    owned = {i: (w.bwd_slot[i], w.opt_states[i]) for i in w.opt_states}
+    gathered = all_gather(comm, owned, tag=("wp-state", iteration))
+    merged: Dict[int, tuple] = {}
+    for d in gathered:
+        merged.update(d)
+    new_chunks = [merged[i][0] for i in range(spec.cfg.n_layers)]
+    new_states = [merged[i][1] for i in range(spec.cfg.n_layers)]
+    w.release_buffers()
+    return loss, new_chunks, new_states
 
 
 def _resolve_topology(

@@ -15,10 +15,19 @@ from .collectives import (
     reduce_scatter,
     split_chunks,
 )
-from .communicator import Communicator, Fabric, FabricAborted, PeerFailed, RecvTimeout
+from .communicator import (
+    Communicator,
+    DeclaredDead,
+    Fabric,
+    FabricAborted,
+    PeerFailed,
+    RecvTimeout,
+)
+from .detector import FailureDetector
+from .integrity import CorruptFrameError, corrupt_copy, payload_crc32
 from .launcher import WorkerError, run_workers, run_workers_elastic
 from .message import Message, TrafficStats, payload_nbytes, tag_kind
-from .recovery import ElasticResult, RecoveryEvent, elastic_worker
+from .recovery import ElasticResult, RecoveryEvent, RejoinEvent, elastic_worker
 from .subgroup import SubCommunicator, split_grid
 from .topology import (
     DEFAULT_INTER,
@@ -36,12 +45,18 @@ __all__ = [
     "ChaosPolicy",
     "ChaosStats",
     "Communicator",
+    "CorruptFrameError",
+    "DeclaredDead",
     "ElasticResult",
     "Fabric",
     "FabricAborted",
+    "FailureDetector",
     "PeerFailed",
     "RecoveryEvent",
+    "RejoinEvent",
     "RecvTimeout",
+    "corrupt_copy",
+    "payload_crc32",
     "DEFAULT_INTER",
     "DEFAULT_INTRA",
     "LinkSpec",

@@ -25,29 +25,49 @@ transport:
   built on an at-least-once wire, the way real transports do it);
 * **injected crash** — a chosen rank raises :class:`ChaosCrash` on its
   N-th ``send``, driving the launcher's ``abort()``/poison path so peers
-  must fail fast with ``FabricAborted``.
+  must fail fast with ``FabricAborted``;
+* **payload bit-flip (SDC)** — a *copy* of the payload with one flipped
+  bit rides the wire instead of the original; the CRC32 frame stamped at
+  post time catches it on delivery and drives NACK + retransmit with
+  capped exponential backoff.  Only when a flow exhausts its retransmit
+  budget does the receiver raise
+  :class:`~repro.runtime.integrity.CorruptFrameError` — a persistently
+  corrupting link is a permanent failure;
+* **directed-link flap** — a bounded window of consecutive posts on one
+  ``(src, dst)`` link is held back until the outage ends (no loss: the
+  wire stays at-least-once);
+* **transient rank stall** — a chosen (or seeded) rank freezes for a
+  bounded duration at one of its sends, long enough to drive the failure
+  detector's suspect path without any crash;
+* **rank flap (NIC outage)** — one rank's links go down entirely for a
+  bounded window *and* its heartbeats are suppressed, which is the
+  deterministic way to drive suspect → confirm → shrink → rejoin.
 
-Every decision is a pure function of ``(policy.seed, src, dst, tag,
-per-channel sequence number)`` — *not* of wall-clock time or thread
-interleaving — so a failing chaos seed names a reproducible adversary
-even though the OS scheduler stays nondeterministic.  Logical traffic
-accounting (:class:`~repro.runtime.TrafficStats`) records each message
-once; retransmitted and duplicated bytes are tallied separately in
-:class:`ChaosStats` so the communication-volume tests stay meaningful
-under chaos.
+Every per-message decision is a pure function of ``(policy.seed, src,
+dst, tag, per-channel sequence number)`` — *not* of wall-clock time or
+thread interleaving — so a failing chaos seed names a reproducible
+adversary even though the OS scheduler stays nondeterministic.  (Link
+flaps extend the scheme with the per-directed-link post index as the
+sequence, and stalls with the per-rank post index; both stay pure.)
+Logical traffic accounting (:class:`~repro.runtime.TrafficStats`)
+records each message once; retransmitted and duplicated bytes are
+tallied separately in :class:`ChaosStats` so the communication-volume
+tests stay meaningful under chaos.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import time
 import zlib
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from .communicator import Fabric, _now
+from .integrity import CorruptFrameError, corrupt_copy, payload_crc32
 from .message import Message
 
 __all__ = ["ChaosPolicy", "ChaosStats", "ChaosCrash", "ChaosFabric"]
@@ -84,6 +104,38 @@ class ChaosPolicy:
     crash_rank: Optional[int] = None
     #: ... on its N-th post (1-based count of messages that rank sent).
     crash_at_post: Optional[int] = None
+    # -- transient faults (all off by default, so existing seeds keep
+    # -- their exact historical fault schedules) ------------------------------
+    #: probability a message's wire copy suffers a single-bit flip (SDC).
+    bitflip_prob: float = 0.0
+    #: per-flow cap on CRC-driven retransmissions; the receiver raises
+    #: :class:`~repro.runtime.integrity.CorruptFrameError` past it.
+    retransmit_budget: int = 16
+    #: cap on the exponential NACK backoff (seconds).
+    max_backoff: float = 0.02
+    #: probability a flap window *opens* at any given post of a directed
+    #: link (each window holds ``flap_len`` consecutive posts back).
+    flap_prob: float = 0.0
+    #: number of consecutive link posts one flap window affects.
+    flap_len: int = 4
+    #: outage penalty added to flapped messages (seconds).
+    flap_delay: float = 0.003
+    #: explicit flap windows: ``(src, dst, first_link_post, n_posts)``.
+    flaps: Tuple[Tuple[int, int, int, int], ...] = ()
+    #: probability a rank stalls (freezes) at any given one of its posts.
+    stall_prob: float = 0.0
+    #: maximum seeded stall duration (uniform in (0, max_stall]).
+    max_stall: float = 0.0
+    #: deterministic single stall: rank / 1-based post index / seconds.
+    stall_rank: Optional[int] = None
+    stall_at_post: Optional[int] = None
+    stall_duration: float = 0.0
+    #: NIC outage: this rank's links go down and its heartbeats are
+    #: suppressed for ``flap_rank_duration`` seconds starting at its
+    #: ``flap_rank_at_post``-th post (1-based).
+    flap_rank: Optional[int] = None
+    flap_rank_at_post: Optional[int] = None
+    flap_rank_duration: float = 0.0
 
     @classmethod
     def quiet(cls, seed: int = 0) -> "ChaosPolicy":
@@ -107,7 +159,53 @@ class ChaosPolicy:
         dropped = bool(rng.random() < self.drop_prob)
         duplicated = bool(rng.random() < self.duplicate_prob)
         dup_delay = delay + float(rng.random() * max(self.max_delay, 1e-4))
-        return _Decision(delay=delay, dropped=dropped, duplicated=duplicated, dup_delay=dup_delay)
+        # new draws come strictly after the historical ones, so enabling
+        # bit-flips never perturbs a seed's delay/drop/dup schedule.
+        bitflip = bool(self.bitflip_prob > 0.0 and rng.random() < self.bitflip_prob)
+        return _Decision(
+            delay=delay,
+            dropped=dropped,
+            duplicated=duplicated,
+            dup_delay=dup_delay,
+            bitflip=bitflip,
+        )
+
+    def flip_rng(self, src: int, dst: int, tag: Tuple, seq: int, attempt: int) -> np.random.Generator:
+        """RNG choosing *where* an SDC lands (and whether a retransmit is
+        corrupted again) — pure in the frame identity plus attempt."""
+        return np.random.default_rng(
+            (abs(int(self.seed)), 0xB17F11B, src, dst,
+             zlib.crc32(repr(tag).encode()), seq, attempt)
+        )
+
+    def flap_hold(self, src: int, dst: int, link_post: int) -> float:
+        """Outage delay for the ``link_post``-th message (0-based) on the
+        directed link ``src -> dst`` — pure in (seed, link, post index)."""
+        for (s, d, first, n) in self.flaps:
+            if s == src and d == dst and first <= link_post < first + n:
+                return self.flap_delay
+        if self.flap_prob > 0.0 and self.flap_len > 0:
+            lo = max(0, link_post - self.flap_len + 1)
+            for start in range(lo, link_post + 1):
+                rng = np.random.default_rng(
+                    (abs(int(self.seed)), 0xF1A9, src, dst, start)
+                )
+                if rng.random() < self.flap_prob:
+                    return self.flap_delay
+        return 0.0
+
+    def stall_at(self, rank: int, post_index: int) -> float:
+        """Seconds ``rank`` freezes at its ``post_index``-th post
+        (1-based), 0 for no stall — pure in (seed, rank, post index)."""
+        if self.stall_rank == rank and self.stall_at_post == post_index:
+            return self.stall_duration
+        if self.stall_prob > 0.0 and self.max_stall > 0.0:
+            rng = np.random.default_rng(
+                (abs(int(self.seed)), 0x57A11, rank, post_index)
+            )
+            if rng.random() < self.stall_prob:
+                return float((rng.random() * 0.9 + 0.1) * self.max_stall)
+        return 0.0
 
 
 @dataclass(frozen=True)
@@ -116,6 +214,7 @@ class _Decision:
     dropped: bool
     duplicated: bool
     dup_delay: float
+    bitflip: bool = False
 
 
 @dataclass
@@ -132,8 +231,22 @@ class ChaosStats:
     delivered: int = 0
     #: physical bytes re-sent on top of the logical traffic (retries + dups).
     extra_wire_bytes: int = 0
+    #: single-bit payload corruptions put on the wire (incl. re-corrupted
+    #: retransmissions).
+    bitflips: int = 0
+    #: frames that failed CRC verification on delivery.
+    corrupt_frames: int = 0
+    #: NACKs sent back (one per corrupt frame that got a retransmission).
+    nacks: int = 0
+    #: messages held back by a directed-link flap window.
+    flapped: int = 0
+    #: injected transient rank stalls, and their summed duration.
+    stalls: int = 0
+    stall_time_s: float = 0.0
+    #: NIC outages triggered (see ChaosPolicy.flap_rank).
+    rank_flaps: int = 0
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, float]:
         return {
             "posts": self.posts,
             "delayed": self.delayed,
@@ -144,6 +257,13 @@ class ChaosStats:
             "crashes": self.crashes,
             "delivered": self.delivered,
             "extra_wire_bytes": self.extra_wire_bytes,
+            "bitflips": self.bitflips,
+            "corrupt_frames": self.corrupt_frames,
+            "nacks": self.nacks,
+            "flapped": self.flapped,
+            "stalls": self.stalls,
+            "stall_time_s": self.stall_time_s,
+            "rank_flaps": self.rank_flaps,
         }
 
 
@@ -167,19 +287,24 @@ class ChaosFabric(Fabric):
         tracer=None,
         metrics=None,
         topology=None,
+        detector=None,
+        integrity: bool = True,
     ):
         super().__init__(world_size, timeout=timeout, tracer=tracer,
-                         metrics=metrics, topology=topology)
+                         metrics=metrics, topology=topology,
+                         detector=detector, integrity=integrity)
         self.policy = policy if policy is not None else ChaosPolicy()
         self.chaos = ChaosStats()
         # registry mirrors of the injection tallies (ChaosStats stays the
         # exact-count source of truth for the differential tests).
         self._m_injected = {
             fault: self.metrics.counter("chaos_injections_total", fault=fault)
-            for fault in ("delay", "drop", "duplicate", "crash")
+            for fault in ("delay", "drop", "duplicate", "crash",
+                          "bitflip", "flap", "stall", "rank-flap")
         }
         # wire state, all guarded by self._cond's lock:
-        self._limbo: List[Tuple[float, int, Tuple, int, Message]] = []  # heap
+        # heap of (arrival, tie, chan, seq, msg, is_retransmit)
+        self._limbo: List[Tuple[float, int, Tuple, int, Message, bool]] = []
         self._tie = itertools.count()
         # per-directed-link "busy until" clock: a link is a serial
         # resource, so concurrent messages on the same (src, dst) queue
@@ -192,6 +317,19 @@ class ChaosFabric(Fabric):
         self._chan_next: Dict[Tuple, int] = {}
         self._chan_pending: Dict[Tuple, Dict[int, Message]] = {}
         self._posts_by_rank: Dict[int, int] = {}
+        # integrity/NACK state: pristine copies of corrupted frames, the
+        # per-frame attempt count, in-flight retransmissions (dedupes the
+        # NACK a corrupt duplicate would trigger), per-flow budget use,
+        # and flows poisoned by budget exhaustion.
+        self._pristine: Dict[Tuple[Tuple, int], Message] = {}
+        self._frame_attempts: Dict[Tuple[Tuple, int], int] = {}
+        self._retx_inflight: Set[Tuple[Tuple, int]] = set()
+        self._flow_retx: Dict[Tuple, int] = {}
+        self._corrupt_flows: Dict[Tuple, str] = {}
+        # per-directed-link post counters (flap windows index into these)
+        # and active NIC outages: rank -> monotonic "links down until".
+        self._link_posts: Dict[Tuple[int, int], int] = {}
+        self._nic_down_until: Dict[int, float] = {}
 
     # -- wire ------------------------------------------------------------------
 
@@ -199,6 +337,9 @@ class ChaosFabric(Fabric):
         self._check_rank(msg.src)
         self._check_rank(msg.dst)
         pol = self.policy
+        if self.integrity and msg.crc is None:
+            msg.crc = payload_crc32(msg.payload)
+        stall = 0.0
         with self._cond:
             self._check_disturbed(msg.src)
             n = self._posts_by_rank.get(msg.src, 0) + 1
@@ -210,11 +351,30 @@ class ChaosFabric(Fabric):
                     f"injected crash: rank {msg.src} killed at its "
                     f"{n}th send (tag={msg.tag})"
                 )
+            if self.detector is not None:
+                self._heartbeat_locked(msg.src, _now())
             chan = (msg.src, msg.dst, msg.tag)
             seq = self._chan_send_seq.get(chan, 0)
             self._chan_send_seq[chan] = seq + 1
+            lp = self._link_posts.get((msg.src, msg.dst), 0)
+            self._link_posts[(msg.src, msg.dst)] = lp + 1
             self._record_traffic_locked(msg)  # logical traffic: once per message
             self.chaos.posts += 1
+
+            # transient rank stall: the sender freezes (outside the lock,
+            # below) and its message only leaves when it unfreezes.
+            stall = pol.stall_at(msg.src, n)
+            if stall > 0.0:
+                self.chaos.stalls += 1
+                self.chaos.stall_time_s += stall
+                self._m_injected["stall"].add(1)
+            # NIC outage trigger: from this post on, everything touching
+            # the rank queues until the outage ends, and the rank's
+            # heartbeats are suppressed (see _heartbeat_locked).
+            if pol.flap_rank == msg.src and pol.flap_rank_at_post == n:
+                self._nic_down_until[msg.src] = _now() + pol.flap_rank_duration
+                self.chaos.rank_flaps += 1
+                self._m_injected["rank-flap"].add(1)
 
             d = pol.decide(msg.src, msg.dst, msg.tag, seq)
             # Topology serialization is deterministic in (src, dst,
@@ -226,7 +386,7 @@ class ChaosFabric(Fabric):
             # below adds queueing on top: messages sharing a directed
             # link transmit one after another (retransmissions pay only
             # the extra retry latency, not a second occupancy slot).
-            arrival = self._occupy_locked(msg) + d.delay
+            arrival = self._occupy_locked(msg) + d.delay + stall
             if d.delay > 0.0:
                 self.chaos.delayed += 1
                 self._m_injected["delay"].add(1)
@@ -235,18 +395,54 @@ class ChaosFabric(Fabric):
                 self.chaos.retransmits += 1
                 self.chaos.extra_wire_bytes += msg.nbytes
                 self._m_injected["drop"].add(1)
+                self._m_heal["fabric_retransmits"].add(1)
                 arrival += pol.retry_delay
-            heapq.heappush(self._limbo, (arrival, next(self._tie), chan, seq, msg))
+            hold = pol.flap_hold(msg.src, msg.dst, lp)
+            if hold > 0.0:
+                self.chaos.flapped += 1
+                self._m_injected["flap"].add(1)
+                arrival += hold
+            # messages to or from a flapped rank queue until its NIC is up.
+            mute = max(self._nic_down_until.get(msg.src, 0.0),
+                       self._nic_down_until.get(msg.dst, 0.0))
+            if mute > arrival:
+                arrival = mute
+            wire = msg
+            if d.bitflip:
+                # the wire carries a corrupted *copy* stamped with the
+                # original CRC; the sender's payload (often the sender's
+                # own live weights) is never touched.
+                rng = pol.flip_rng(msg.src, msg.dst, msg.tag, seq, 0)
+                bad = corrupt_copy(msg.payload, rng)
+                if bad is not None:
+                    wire = Message(msg.src, msg.dst, msg.tag, bad,
+                                   msg.nbytes, crc=msg.crc)
+                    self._pristine[(chan, seq)] = msg
+                    self.chaos.bitflips += 1
+                    self._m_injected["bitflip"].add(1)
+            heapq.heappush(
+                self._limbo, (arrival, next(self._tie), chan, seq, wire, False)
+            )
             if d.duplicated:
                 self.chaos.duplicates += 1
                 self.chaos.extra_wire_bytes += msg.nbytes
                 self._m_injected["duplicate"].add(1)
                 heapq.heappush(
                     self._limbo,
-                    (self._occupy_locked(msg) + d.dup_delay, next(self._tie), chan, seq, msg),
+                    (self._occupy_locked(msg) + d.dup_delay + stall,
+                     next(self._tie), chan, seq, wire, False),
                 )
             self._pump_locked()
             self._cond.notify_all()
+        if stall > 0.0:
+            # freeze the sender *outside* the lock: the rest of the group
+            # keeps running (and its failure detector keeps judging us).
+            time.sleep(stall)
+            with self._cond:
+                # a long stall may have gotten this rank confirmed dead —
+                # surface DeclaredDead / PeerFailed here, at a fabric
+                # operation, like any other disturbance.
+                self._check_disturbed(msg.src)
 
     def link_delay(self, src: int, dst: int, nbytes: int) -> float:
         """Deterministic per-link serialization delay (0 without topology).
@@ -279,17 +475,29 @@ class ChaosFabric(Fabric):
         Per-channel sequence numbers gate delivery: a copy whose seq was
         already delivered is a duplicate and is discarded; a copy due
         before its channel predecessor waits in a pending buffer so FIFO
-        per (src, dst, tag) survives arbitrary delays.
+        per (src, dst, tag) survives arbitrary delays.  Every landing
+        frame is CRC-verified first: a corrupt frame never reaches a
+        mailbox — it is NACKed and retransmitted (with capped exponential
+        backoff) until it lands clean or the flow's budget is exhausted.
         """
         now = _now()
         delivered = 0
         while self._limbo and self._limbo[0][0] <= now:
-            _, _, chan, seq, msg = heapq.heappop(self._limbo)
+            _, _, chan, seq, msg, is_retx = heapq.heappop(self._limbo)
+            if is_retx:
+                self._retx_inflight.discard((chan, seq))
             nxt = self._chan_next.get(chan, 0)
             pending = self._chan_pending.setdefault(chan, {})
             if seq < nxt or seq in pending:
                 self.chaos.duplicates_discarded += 1
                 continue
+            if msg.crc is not None and payload_crc32(msg.payload) != msg.crc:
+                self._handle_corrupt_locked(chan, seq, msg, now)
+                continue
+            key = (chan, seq)
+            if key in self._pristine:  # recovered: drop the NACK state
+                del self._pristine[key]
+                self._frame_attempts.pop(key, None)
             pending[seq] = msg
             while nxt in pending:
                 m = pending.pop(nxt)
@@ -302,6 +510,77 @@ class ChaosFabric(Fabric):
             self.chaos.delivered += delivered
             self._cond.notify_all()
         return delivered
+
+    def _handle_corrupt_locked(
+        self, chan: Tuple, seq: int, msg: Message, now: float
+    ) -> None:
+        """A frame failed CRC on delivery: NACK it and schedule the
+        sender-side retransmission (caller holds the lock).
+
+        The retransmission resends the pristine copy the sender kept, but
+        rides the same lossy wire — it may be corrupted again, decided by
+        the same pure RNG keyed on the frame identity and attempt number.
+        Each flow has a cumulative retransmit budget; exhausting it
+        poisons the flow and the blocked receiver raises
+        :class:`CorruptFrameError` (a permanent failure, handed to the
+        elastic shrink path by the worker driver).
+        """
+        pol = self.policy
+        self.chaos.corrupt_frames += 1
+        self._m_heal["fabric_corrupt_frames"].add(1)
+        key = (chan, seq)
+        if key in self._retx_inflight:
+            # a corrupt *duplicate* of a frame already being recovered:
+            # the outstanding retransmission covers it.
+            return
+        used = self._flow_retx.get(chan, 0)
+        if used >= pol.retransmit_budget:
+            self._corrupt_flows[chan] = (
+                f"frame seq={seq} keeps failing CRC and the flow's "
+                f"retransmit budget ({pol.retransmit_budget}) is exhausted"
+            )
+            self._cond.notify_all()
+            return
+        self._flow_retx[chan] = used + 1
+        attempt = self._frame_attempts.get(key, 0) + 1
+        self._frame_attempts[key] = attempt
+        self.chaos.nacks += 1
+        self.chaos.retransmits += 1
+        self.chaos.extra_wire_bytes += msg.nbytes
+        self._m_heal["fabric_retransmits"].add(1)
+        backoff = min(pol.retry_delay * (2 ** (attempt - 1)), pol.max_backoff)
+        pristine = self._pristine.get(key, msg)
+        resend = pristine
+        if pol.bitflip_prob > 0.0:
+            rng = pol.flip_rng(pristine.src, pristine.dst, pristine.tag,
+                               seq, attempt)
+            if rng.random() < pol.bitflip_prob:
+                bad = corrupt_copy(pristine.payload, rng)
+                if bad is not None:
+                    resend = Message(pristine.src, pristine.dst,
+                                     pristine.tag, bad, pristine.nbytes,
+                                     crc=pristine.crc)
+                    self.chaos.bitflips += 1
+                    self._m_injected["bitflip"].add(1)
+        self._retx_inflight.add(key)
+        heapq.heappush(
+            self._limbo,
+            (now + backoff, next(self._tie), chan, seq, resend, True),
+        )
+
+    def _check_flow_locked(self, dst: int, src: int, tag: Tuple) -> None:
+        reason = self._corrupt_flows.get((src, dst, tag))
+        if reason is not None:
+            raise CorruptFrameError(
+                f"rank {dst} receiving from rank {src} tag={tag}: {reason}"
+            )
+
+    def _heartbeat_locked(self, rank: int, now: float) -> None:
+        # a flapped NIC also cuts the rank's heartbeats — that silence is
+        # what the failure detector is *supposed* to see.
+        if now < self._nic_down_until.get(rank, 0.0):
+            return
+        super()._heartbeat_locked(rank, now)
 
     # -- delivery-aware blocking hooks -----------------------------------------
     # take/poll/irecv themselves come from Fabric: its blocking loop calls

@@ -41,10 +41,18 @@ from typing import Any, Deque, Dict, Optional, Tuple
 
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import NULL_TRACER
+from .integrity import payload_crc32
 from .message import Message, TrafficStats, payload_nbytes, tag_kind
 from .topology import Topology
 
-__all__ = ["Fabric", "Communicator", "RecvTimeout", "FabricAborted", "PeerFailed"]
+__all__ = [
+    "Fabric",
+    "Communicator",
+    "RecvTimeout",
+    "FabricAborted",
+    "PeerFailed",
+    "DeclaredDead",
+]
 
 
 class RecvTimeout(RuntimeError):
@@ -53,6 +61,19 @@ class RecvTimeout(RuntimeError):
 
 class FabricAborted(RuntimeError):
     """A peer worker raised; the fabric has been poisoned."""
+
+
+class DeclaredDead(RuntimeError):
+    """This rank was confirmed dead by the group while it was still alive.
+
+    Only raised on fabrics with a failure detector attached: a rank that
+    was falsely confirmed (it merely stalled or its NIC flapped) learns
+    about the verdict at its next fabric operation and can ask to
+    re-enter via :meth:`Fabric.request_rejoin` /
+    :meth:`Fabric.await_readmission` — the re-grow half of elastic
+    recovery (:mod:`repro.runtime.recovery`).  Genuinely crashed ranks
+    never perform another fabric operation, so they never see this.
+    """
 
 
 class PeerFailed(RuntimeError):
@@ -88,6 +109,8 @@ class Fabric:
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
         topology: Optional[Topology] = None,
+        detector=None,
+        integrity: bool = True,
     ):
         if world_size < 1:
             raise ValueError("world_size must be >= 1")
@@ -109,6 +132,28 @@ class Fabric:
         #: canonical metric store; TrafficStats below remains as a thin
         #: legacy view fed by the same _record_traffic_locked call.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: optional :class:`~repro.runtime.detector.FailureDetector`;
+        #: when attached, every fabric operation heartbeats its rank and
+        #: blocked receivers periodically re-judge their peer — confirmed
+        #: failures feed the fail_rank / PeerFailed elastic path, and a
+        #: falsely-confirmed (still running) rank gets DeclaredDead.
+        self.detector = detector
+        #: frame every posted message with a payload CRC32 (the chaos
+        #: wire verifies on delivery; the plain wire is trusted).
+        self.integrity = integrity
+        # heal telemetry: created eagerly so quiet runs export explicit
+        # zeros (the CI quiet-wire control asserts on them).
+        self._m_heal = {
+            name: self.metrics.counter(name)
+            for name in (
+                "fabric_retransmits",
+                "fabric_corrupt_frames",
+                "detector_suspicions",
+                "detector_suspicions_cleared",
+                "detector_confirms",
+                "ring_rejoins",
+            )
+        }
         # cached per-kind counter handles so the per-message hot path
         # does one dict lookup, not a registry resolution.
         self._traffic_handles: Dict[str, Tuple[Any, Any]] = {}
@@ -130,6 +175,10 @@ class Fabric:
         self._fail_epoch = 0
         self._ack_epoch: Dict[int, int] = {}
         self._progress: Dict[int, int] = {}
+        # ring re-grow bookkeeping: failed ranks asking to come back, and
+        # admissions waiting to be picked up -> (recovery epoch, leader).
+        self._rejoin_requests: set = set()
+        self._admitted: Dict[int, Tuple[int, int]] = {}
         # posted receives: (dst, src, tag) -> FIFO of unfulfilled handles.
         # Delivery drains mailbox messages into posted handles in posting
         # order, so out-of-order waits cannot steal each other's message.
@@ -146,14 +195,43 @@ class Fabric:
     def _check_disturbed(self, rank: int) -> None:
         """Raise if the fabric was poisoned or a peer failure is unacked.
 
-        Caller holds the lock.  ``rank`` never observes its *own*
-        failure, so the dead rank's pending ops don't mask the original
-        exception.
+        Caller holds the lock.  Without a failure detector, ``rank``
+        never observes its *own* failure, so a dead rank's pending ops
+        don't mask the original exception.  With a detector attached a
+        failure may be a false confirmation of a rank that is in fact
+        still running — that rank is told so with :class:`DeclaredDead`
+        (its gateway into the rejoin protocol) instead of being left to
+        time out.
         """
         if self._aborted:
             raise FabricAborted(self._aborted)
-        if self._failed and self._ack_epoch.get(rank, 0) < self._fail_epoch:
-            raise PeerFailed({r: v for r, v in self._failed.items() if r != rank})
+        if self._failed:
+            if rank in self._failed and self.detector is not None:
+                reason, _ = self._failed[rank]
+                raise DeclaredDead(
+                    f"rank {rank} was declared failed ({reason}); "
+                    f"request_rejoin() to re-enter the ring"
+                )
+            if self._ack_epoch.get(rank, 0) < self._fail_epoch:
+                raise PeerFailed(
+                    {r: v for r, v in self._failed.items() if r != rank}
+                )
+
+    def _check_flow_locked(self, dst: int, src: int, tag: Tuple) -> None:
+        """Raise if the ``src -> dst, tag`` flow is poisoned (caller holds
+        the lock).  The plain wire never poisons flows; the chaos wire
+        overrides this to surface CorruptFrameError when a flow's
+        retransmit budget is exhausted."""
+
+    def _heartbeat_locked(self, rank: int, now: float) -> None:
+        """Record liveness evidence for ``rank`` (caller holds the lock).
+
+        The chaos wire overrides this to *suppress* heartbeats from a
+        rank whose NIC is flapped — that suppression is exactly what lets
+        tests drive the suspect/confirm path deterministically."""
+        det = self.detector
+        if det is not None and det.heartbeat(rank, now):
+            self._m_heal["detector_suspicions_cleared"].add(1)
 
     def _record_traffic_locked(self, msg: Message) -> None:
         """Account one *logical* message, exactly once, for both the
@@ -240,8 +318,12 @@ class Fabric:
     def post(self, msg: Message) -> None:
         self._check_rank(msg.src)
         self._check_rank(msg.dst)
+        if self.integrity and msg.crc is None:
+            msg.crc = payload_crc32(msg.payload)
         with self._cond:
             self._check_disturbed(msg.src)
+            if self.detector is not None:
+                self._heartbeat_locked(msg.src, _now())
             self._mail[msg.dst][(msg.src, msg.tag)].append(msg)
             self._record_traffic_locked(msg)
             self._drain_locked((msg.dst, msg.src, msg.tag))
@@ -290,11 +372,49 @@ class Fabric:
                 self._drain_locked((h._dst, h._src, h._tag))
                 if h._done:
                     return h._value
+                # after the pump: this thread's own pump call may have just
+                # poisoned the flow (budget-exhausted corrupt frame), and
+                # the notify_all it issued can't wake the thread that holds
+                # the lock — re-checking here avoids sleeping a full
+                # timeout on a flow already known dead.
+                self._check_flow_locked(h._dst, h._src, h._tag)
                 # re-derive the budget from the deadline each pass: spurious
                 # wakeups (notify_all for a different channel) must neither
                 # shrink the budget below zero nor hand Condition.wait a
                 # negative timeout.
                 now = _now()
+                det = self.detector
+                if det is not None:
+                    # a blocked receiver is alive: each loop pass is a
+                    # heartbeat for the waiting rank, while the peer it
+                    # waits on gets re-judged — suspicion first, and only
+                    # a suspicion that outlives the confirmation window
+                    # triggers the fail-stop shrink path.
+                    self._heartbeat_locked(h._dst, now)
+                    if h._src != h._dst and h._src not in self._failed:
+                        verdict = det.evaluate(h._src, now)
+                        if verdict == "suspect":
+                            self._m_heal["detector_suspicions"].add(1)
+                            if h._trace is not None:
+                                h._trace.instant(
+                                    "suspect", "heal",
+                                    {"rank": h._src,
+                                     "phi": round(det.phi(h._src, now), 2)},
+                                )
+                        elif verdict == "confirm":
+                            self._m_heal["detector_confirms"].add(1)
+                            if h._trace is not None:
+                                h._trace.instant(
+                                    "confirm-dead", "heal", {"rank": h._src}
+                                )
+                            self._fail_rank_locked(
+                                h._src,
+                                f"failure detector confirmed rank {h._src} "
+                                f"dead (silent beyond "
+                                f"{det.confirm_after(h._src):.3f}s)",
+                                None,
+                            )
+                            continue  # next pass raises PeerFailed
                 if now >= deadline:
                     raise RecvTimeout(
                         f"rank {h._dst} timed out waiting for msg from rank "
@@ -307,6 +427,10 @@ class Fabric:
                 if nxt is not None:
                     # wake when the earliest in-flight message lands
                     wait_for = min(wait_for, max(nxt - now, 0.0) + 1e-4)
+                if det is not None:
+                    # re-judge peers at the detector's cadence even when
+                    # no wire event is due.
+                    wait_for = min(wait_for, det.poll_interval)
                 self._cond.wait(timeout=wait_for)
             except BaseException:
                 # an abandoned posted receive must not swallow a later
@@ -368,18 +492,91 @@ class Fabric:
         """
         self._check_rank(rank)
         with self._cond:
-            if rank in self._failed:
-                return
-            if step is None:
-                step = self._progress.get(rank)
-            self._failed[rank] = (reason, step)
-            self._fail_epoch += 1
-            self._cond.notify_all()
+            self._fail_rank_locked(rank, reason, step)
+
+    def _fail_rank_locked(
+        self, rank: int, reason: str, step: Optional[int] = None
+    ) -> None:
+        """Body of :meth:`fail_rank` (caller holds the lock) — also
+        invoked from inside a blocked receive when the failure detector
+        confirms a peer dead."""
+        if rank in self._failed:
+            return
+        if step is None:
+            step = self._progress.get(rank)
+        self._failed[rank] = (reason, step)
+        self._fail_epoch += 1
+        self._cond.notify_all()
 
     def failed_ranks(self) -> Dict[int, Tuple[str, Optional[int]]]:
         """Dead ranks so far: ``{rank: (reason, step)}``."""
         with self._lock:
             return dict(self._failed)
+
+    # -- ring re-grow (rank rejoin) -------------------------------------------
+
+    def request_rejoin(self, rank: int) -> None:
+        """A declared-dead rank asks to re-enter the ring.
+
+        Survivors observe the request via :meth:`pending_rejoins` at
+        their next commit fence and admit it at a step boundary with
+        :meth:`admit_rejoin`; the requester blocks in
+        :meth:`await_readmission` meanwhile.  A no-op for live ranks.
+        """
+        self._check_rank(rank)
+        with self._cond:
+            if rank not in self._failed:
+                return
+            self._rejoin_requests.add(rank)
+            self._cond.notify_all()
+
+    def pending_rejoins(self) -> Tuple[int, ...]:
+        """Failed ranks currently asking to rejoin (sorted)."""
+        with self._lock:
+            return tuple(sorted(self._rejoin_requests))
+
+    def admit_rejoin(self, rank: int, epoch: int, leader: int) -> None:
+        """Re-admit ``rank`` (called once, by the survivor leader).
+
+        Clears the failure record *without* bumping the failure epoch —
+        survivors already agreed on the admission at the commit fence, so
+        nobody needs a PeerFailed interrupt — marks every past epoch as
+        acknowledged for the rejoiner, resets its detector history, and
+        wakes its :meth:`await_readmission`.  ``leader`` is the global
+        rank that will send the state snapshot.
+        """
+        self._check_rank(rank)
+        with self._cond:
+            if rank not in self._failed:
+                raise ValueError(f"rank {rank} is not failed; cannot rejoin")
+            del self._failed[rank]
+            self._rejoin_requests.discard(rank)
+            self._ack_epoch[rank] = self._fail_epoch
+            self._admitted[rank] = (epoch, leader)
+            if self.detector is not None:
+                self.detector.reset(rank)
+            self._m_heal["ring_rejoins"].add(1)
+            self._cond.notify_all()
+
+    def await_readmission(
+        self, rank: int, timeout: Optional[float] = None
+    ) -> Tuple[int, int]:
+        """Block until :meth:`admit_rejoin` lets ``rank`` back in; returns
+        ``(recovery_epoch, leader_rank)``."""
+        limit = timeout if timeout is not None else self.timeout
+        deadline = _now() + limit
+        with self._cond:
+            while rank not in self._admitted:
+                if self._aborted:
+                    raise FabricAborted(self._aborted)
+                now = _now()
+                if now >= deadline:
+                    raise RecvTimeout(
+                        f"rank {rank} was never re-admitted within {limit}s "
+                        f"(survivors finished or rejected the rejoin)"
+                    )
+                self._cond.wait(timeout=deadline - now)
+            return self._admitted.pop(rank)
 
     def acknowledge_failures(self, rank: int) -> None:
         """Mark every failure so far as seen by ``rank``; its fabric
@@ -576,3 +773,17 @@ class Communicator:
     def report_progress(self, step: int) -> None:
         """Publish this rank's training progress for failure attribution."""
         self.fabric.report_progress(self.rank, step)
+
+    # -- ring re-grow (rank rejoin) -------------------------------------------
+
+    def request_rejoin(self) -> None:
+        """Ask the survivors to let this (declared-dead) rank back in."""
+        self.fabric.request_rejoin(self.rank)
+
+    def await_readmission(self, timeout: Optional[float] = None) -> Tuple[int, int]:
+        """Block until admitted; returns ``(recovery_epoch, leader_rank)``."""
+        return self.fabric.await_readmission(self.rank, timeout)
+
+    def pending_rejoins(self) -> Tuple[int, ...]:
+        """Failed ranks currently asking to rejoin (sorted)."""
+        return self.fabric.pending_rejoins()

@@ -1,0 +1,221 @@
+"""Heartbeat-based failure detection: suspicion before execution.
+
+PR-2's elastic recovery is fail-stop: a rank is dead the moment
+something calls :meth:`Fabric.fail_rank`, and the ring shrinks forever.
+That is the wrong verdict for the transient faults long-lived runs
+actually see — a GC pause, a flapping NIC, a straggling node.  This
+module adds the middle state real systems use: **suspected**.
+
+:class:`FailureDetector` is a phi-accrual-style adaptive detector
+(Hayashibara et al.): it keeps a sliding window of observed heartbeat
+inter-arrival times per rank and converts "how long since the last
+heartbeat" into a suspicion level ``phi`` measured in standard
+deviations above the observed mean cadence.  Two thresholds matter:
+
+* ``phi >= phi_suspect`` (or the ``min_suspect_s`` floor, whichever is
+  later) — the rank is *suspected*.  Nothing is killed: receivers keep
+  waiting, which means the elastic commit fence is simply held.  A
+  heartbeat clears the suspicion.
+* ``phi >= phi_confirm`` while already suspected — the detector
+  *confirms* the failure, and only then does the fabric invoke the
+  PR-2 ``fail_rank`` → ``PeerFailed`` → ring-shrink path.
+
+Confirmation requires a prior suspicion (a rank is never confirmed on
+the first look, however stale), so there is always at least one
+evaluation between "slow" and "dead".  The adaptive thresholds mean a
+rank with naturally slow cadence (big compute steps) earns a
+proportionally longer grace window than a chatty one.
+
+Heartbeats are *activity-based*: the fabric records one for a rank on
+every operation that rank performs, including each pass of a blocked
+receive loop.  A healthy-but-blocked rank therefore stays visible — only
+a rank that is genuinely not running (sleeping, crashed, or cut off by a
+simulated NIC outage, which suppresses its heartbeats) goes quiet.  This
+is what prevents the classic cascade where one stall makes every blocked
+peer look dead.
+
+The detector is driven entirely under the fabric lock and keeps no lock
+of its own.  All timestamps are caller-supplied monotonic seconds, so
+unit tests can script exact timelines.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+__all__ = ["FailureDetector"]
+
+
+class _RankHealth:
+    __slots__ = ("last", "intervals", "suspected_since", "confirmed")
+
+    def __init__(self, window: int):
+        self.last: Optional[float] = None
+        self.intervals: Deque[float] = deque(maxlen=window)
+        self.suspected_since: Optional[float] = None
+        self.confirmed = False
+
+
+class FailureDetector:
+    """Adaptive (phi-accrual-style) heartbeat failure detector.
+
+    Parameters are floors and multipliers, not fixed timeouts:
+
+    * ``phi_suspect`` / ``phi_confirm`` — suspicion / confirmation
+      thresholds in standard deviations above the mean heartbeat gap.
+    * ``min_suspect_s`` / ``min_confirm_s`` — absolute floors so a very
+      chatty rank (sub-millisecond cadence) still gets a sane grace
+      period before being suspected or confirmed.
+    * ``min_std_s`` — variance floor guarding against a near-constant
+      cadence collapsing the thresholds onto the mean.
+    * ``poll_interval`` — how often blocked receivers re-evaluate peers
+      (the fabric caps its condition waits with this when a detector is
+      attached).
+    """
+
+    def __init__(
+        self,
+        window: int = 64,
+        phi_suspect: float = 8.0,
+        phi_confirm: float = 24.0,
+        min_suspect_s: float = 0.05,
+        min_confirm_s: float = 0.25,
+        min_std_s: float = 0.005,
+        poll_interval: float = 0.01,
+    ):
+        if phi_confirm <= phi_suspect:
+            raise ValueError("phi_confirm must exceed phi_suspect")
+        if min_confirm_s <= min_suspect_s:
+            raise ValueError("min_confirm_s must exceed min_suspect_s")
+        self.window = window
+        self.phi_suspect = phi_suspect
+        self.phi_confirm = phi_confirm
+        self.min_suspect_s = min_suspect_s
+        self.min_confirm_s = min_confirm_s
+        self.min_std_s = min_std_s
+        self.poll_interval = poll_interval
+        self._ranks: Dict[int, _RankHealth] = {}
+        #: lifetime tallies (mirrored into MetricsRegistry by the fabric).
+        self.suspicions = 0
+        self.suspicions_cleared = 0
+        self.confirms = 0
+
+    # -- observations --------------------------------------------------------
+
+    def heartbeat(self, rank: int, now: Optional[float] = None) -> bool:
+        """Record liveness evidence for ``rank``.
+
+        Returns True when this heartbeat cleared an active (unconfirmed)
+        suspicion — the "it was only slow" outcome.
+        """
+        if now is None:
+            now = time.monotonic()
+        st = self._ranks.get(rank)
+        if st is None:
+            st = self._ranks[rank] = _RankHealth(self.window)
+        if st.last is not None and now > st.last:
+            st.intervals.append(now - st.last)
+        if st.last is None or now > st.last:
+            st.last = now
+        if st.suspected_since is not None and not st.confirmed:
+            st.suspected_since = None
+            self.suspicions_cleared += 1
+            return True
+        return False
+
+    # -- cadence model -------------------------------------------------------
+
+    def _cadence(self, st: _RankHealth) -> Tuple[float, float]:
+        iv = st.intervals
+        if not iv:
+            return 0.0, self.min_std_s
+        mean = sum(iv) / len(iv)
+        var = sum((x - mean) ** 2 for x in iv) / len(iv)
+        return mean, max(math.sqrt(var), self.min_std_s)
+
+    def phi(self, rank: int, now: Optional[float] = None) -> float:
+        """Suspicion level: standard deviations of silence beyond the
+        observed mean heartbeat gap (0 for unknown / just-heard ranks)."""
+        if now is None:
+            now = time.monotonic()
+        st = self._ranks.get(rank)
+        if st is None or st.last is None:
+            return 0.0
+        mean, std = self._cadence(st)
+        return max(0.0, (now - st.last - mean) / std)
+
+    def suspect_after(self, rank: int) -> float:
+        """Silence (seconds) that makes ``rank`` suspected right now."""
+        st = self._ranks.get(rank)
+        mean, std = self._cadence(st) if st is not None else (0.0, self.min_std_s)
+        return max(self.min_suspect_s, mean + self.phi_suspect * std)
+
+    def confirm_after(self, rank: int) -> float:
+        """Silence (seconds) that confirms an already-suspected rank."""
+        st = self._ranks.get(rank)
+        mean, std = self._cadence(st) if st is not None else (0.0, self.min_std_s)
+        return max(self.min_confirm_s, mean + self.phi_confirm * std)
+
+    # -- verdicts ------------------------------------------------------------
+
+    def evaluate(self, rank: int, now: Optional[float] = None) -> Optional[str]:
+        """Re-judge ``rank``; returns a *transition* or None.
+
+        ``"suspect"`` — newly suspected (counted once until cleared);
+        ``"confirm"`` — a standing suspicion aged past the confirmation
+        threshold (returned exactly once; the caller owns the kill).
+        The first evaluation of an unseen rank only anchors its clock.
+        """
+        if now is None:
+            now = time.monotonic()
+        st = self._ranks.get(rank)
+        if st is None:
+            st = self._ranks[rank] = _RankHealth(self.window)
+        if st.last is None:
+            st.last = now
+            return None
+        if st.confirmed:
+            return None
+        elapsed = now - st.last
+        if st.suspected_since is None:
+            if elapsed >= self.suspect_after(rank):
+                st.suspected_since = now
+                self.suspicions += 1
+                return "suspect"
+            return None
+        if elapsed >= self.confirm_after(rank):
+            st.confirmed = True
+            self.confirms += 1
+            return "confirm"
+        return None
+
+    def is_suspected(self, rank: int) -> bool:
+        st = self._ranks.get(rank)
+        return st is not None and st.suspected_since is not None
+
+    def is_confirmed(self, rank: int) -> bool:
+        st = self._ranks.get(rank)
+        return st is not None and st.confirmed
+
+    def suspected_ranks(self) -> Tuple[int, ...]:
+        return tuple(
+            sorted(
+                r
+                for r, st in self._ranks.items()
+                if st.suspected_since is not None and not st.confirmed
+            )
+        )
+
+    def reset(self, rank: int) -> None:
+        """Forget everything about ``rank`` (rejoin admitted a fresh one)."""
+        self._ranks.pop(rank, None)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "suspicions": self.suspicions,
+            "suspicions_cleared": self.suspicions_cleared,
+            "confirms": self.confirms,
+        }

@@ -1,0 +1,243 @@
+"""Wire integrity for the simulated fabric: CRC32 framing and SDC helpers.
+
+Real transports checksum every frame because links flip bits: a single
+silent data corruption (SDC) in a circulating weight slot poisons the
+model for every remaining step.  This module gives the in-process wire
+the same defence:
+
+* :func:`payload_crc32` — a structural CRC32 over a message payload.
+  Array data is fed to ``zlib.crc32`` straight through the buffer
+  protocol (no serialization copy), so framing a quiet-wire message is
+  allocation-free in the PR-3 sense: no pool buffers, no array copies.
+  Container structure, dtypes and shapes are mixed into the digest via
+  small type-tag prefixes so distinct structures cannot collide by
+  concatenation.
+* :func:`verify_message` — recompute and compare a frame's CRC.
+* :func:`corrupt_copy` — build a *copy* of a payload with exactly one
+  bit flipped in one of its array leaves (the chaos wire's SDC
+  injector).  It must copy: the in-process fabric passes payloads by
+  reference, so corrupting in place would corrupt the sender's own
+  state rather than the wire.
+
+:class:`CorruptFrameError` is raised by a receiver only when the chaos
+wire's retransmit budget for a flow is exhausted — a persistent-SDC
+channel is treated as a permanent failure and handed to the PR-2
+ring-shrink path by the elastic driver.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+import struct
+import zlib
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CorruptFrameError",
+    "payload_crc32",
+    "verify_message",
+    "corrupt_copy",
+    "payload_flip_surface",
+]
+
+
+class CorruptFrameError(RuntimeError):
+    """A flow kept failing CRC verification past its retransmit budget."""
+
+
+def _is_paramstruct(obj: Any) -> bool:
+    # duck-typed so runtime does not import repro.nn: a ParamStruct
+    # quacks numel/clone/keys; dicts are excluded by the explicit
+    # isinstance checks before this is consulted.
+    return hasattr(obj, "numel") and hasattr(obj, "clone") and hasattr(obj, "keys")
+
+
+def _crc_array(arr: np.ndarray, crc: int) -> int:
+    # dtype and shape are part of the frame: a garbled header must not
+    # alias a different array with the same bytes.
+    crc = zlib.crc32(str(arr.dtype).encode(), crc)
+    crc = zlib.crc32(repr(arr.shape).encode(), crc)
+    if not arr.flags.c_contiguous:
+        arr = np.ascontiguousarray(arr)
+    return zlib.crc32(arr, crc)
+
+
+def _crc_walk(obj: Any, crc: int) -> int:
+    if obj is None:
+        return zlib.crc32(b"N", crc)
+    if isinstance(obj, np.ndarray):
+        return _crc_array(obj, zlib.crc32(b"A", crc))
+    if isinstance(obj, np.generic):
+        crc = zlib.crc32(b"G", crc)
+        crc = zlib.crc32(str(obj.dtype).encode(), crc)
+        return zlib.crc32(obj.tobytes(), crc)
+    if isinstance(obj, bool):
+        return zlib.crc32(b"O1" if obj else b"O0", crc)
+    if isinstance(obj, int):
+        crc = zlib.crc32(b"I", crc)
+        return zlib.crc32(str(obj).encode(), crc)
+    if isinstance(obj, float):
+        return zlib.crc32(struct.pack("<d", obj), zlib.crc32(b"F", crc))
+    if isinstance(obj, str):
+        crc = zlib.crc32(b"S", crc)
+        return zlib.crc32(obj.encode(), crc)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return zlib.crc32(obj, zlib.crc32(b"B", crc))
+    if isinstance(obj, tuple):
+        crc = zlib.crc32(b"T%d" % len(obj), crc)
+        for v in obj:
+            crc = _crc_walk(v, crc)
+        return crc
+    if isinstance(obj, list):
+        crc = zlib.crc32(b"L%d" % len(obj), crc)
+        for v in obj:
+            crc = _crc_walk(v, crc)
+        return crc
+    if isinstance(obj, dict):
+        # insertion order: sender and receiver digest the same object
+        # (or a structural copy built in the same order), so no sort.
+        crc = zlib.crc32(b"D%d" % len(obj), crc)
+        for k, v in obj.items():
+            crc = _crc_walk(k, crc)
+            crc = _crc_walk(v, crc)
+        return crc
+    if _is_paramstruct(obj):
+        crc = zlib.crc32(b"P", crc)
+        for name in obj.keys():
+            crc = zlib.crc32(str(name).encode(), crc)
+            crc = _crc_array(obj[name], crc)
+        return crc
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        crc = zlib.crc32(b"C", crc)
+        crc = zlib.crc32(type(obj).__name__.encode(), crc)
+        for f in dataclasses.fields(obj):
+            crc = zlib.crc32(f.name.encode(), crc)
+            crc = _crc_walk(getattr(obj, f.name), crc)
+        return crc
+    # last resort for exotic payloads; deterministic within a process.
+    try:
+        blob = pickle.dumps(obj, protocol=4)
+    except Exception:
+        blob = repr(obj).encode()
+    return zlib.crc32(blob, zlib.crc32(b"X", crc))
+
+
+def payload_crc32(payload: Any) -> int:
+    """Structural CRC32 of a message payload (see module docstring)."""
+    return _crc_walk(payload, 0) & 0xFFFFFFFF
+
+
+def verify_message(msg: Any) -> bool:
+    """True when ``msg`` has no frame or its payload matches its CRC."""
+    crc = getattr(msg, "crc", None)
+    if crc is None:
+        return True
+    return payload_crc32(msg.payload) == crc
+
+
+# -- SDC injection (used by the chaos wire) ---------------------------------
+
+
+def payload_flip_surface(payload: Any) -> int:
+    """Total array-data bytes an SDC could land in (0 = nothing to flip)."""
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if _is_paramstruct(payload):
+        return sum(int(payload[k].nbytes) for k in payload.keys())
+    if isinstance(payload, (tuple, list)):
+        return sum(payload_flip_surface(v) for v in payload)
+    if isinstance(payload, dict):
+        return sum(payload_flip_surface(v) for v in payload.values())
+    if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
+        return sum(
+            payload_flip_surface(getattr(payload, f.name))
+            for f in dataclasses.fields(payload)
+        )
+    return 0
+
+
+def _flip_in_array(arr: np.ndarray, byte_i: int, bit_i: int) -> np.ndarray:
+    buf = bytearray(arr.tobytes())
+    buf[byte_i] ^= 1 << bit_i
+    return np.frombuffer(bytes(buf), dtype=arr.dtype).reshape(arr.shape).copy()
+
+
+def _rebuild_flip(obj: Any, remaining: list, bit_i: int) -> Tuple[Any, bool]:
+    """Copy-on-write rebuild of ``obj`` with one bit flipped at array-data
+    byte offset ``remaining[0]`` (counted over :func:`payload_flip_surface`
+    order).  Returns ``(value, flipped)``; untouched subtrees are shared.
+    """
+    if remaining[0] < 0:
+        return obj, False
+    if isinstance(obj, np.ndarray):
+        n = int(obj.nbytes)
+        if remaining[0] < n:
+            out = _flip_in_array(obj, remaining[0], bit_i)
+            remaining[0] = -1
+            return out, True
+        remaining[0] -= n
+        return obj, False
+    if _is_paramstruct(obj):
+        n = payload_flip_surface(obj)
+        if remaining[0] < n:
+            cp = obj.clone()
+            for name in cp.keys():
+                arr = cp[name]
+                an = int(arr.nbytes)
+                if remaining[0] < an:
+                    # clone's arrays are private and C-contiguous (arena
+                    # views or fresh copies) — flip in place on the copy.
+                    flat = arr.reshape(-1).view(np.uint8)
+                    flat[remaining[0]] ^= 1 << bit_i
+                    remaining[0] = -1
+                    return cp, True
+                remaining[0] -= an
+            raise AssertionError("flip offset escaped ParamStruct surface")
+        remaining[0] -= n
+        return obj, False
+    if isinstance(obj, (tuple, list)):
+        out, flipped = [], False
+        for v in obj:
+            nv, f = _rebuild_flip(v, remaining, bit_i)
+            out.append(nv)
+            flipped = flipped or f
+        if not flipped:
+            return obj, False
+        return (tuple(out) if isinstance(obj, tuple) else out), True
+    if isinstance(obj, dict):
+        out, flipped = {}, False
+        for k, v in obj.items():
+            nv, f = _rebuild_flip(v, remaining, bit_i)
+            out[k] = nv
+            flipped = flipped or f
+        return (out, True) if flipped else (obj, False)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        changes = {}
+        for f in dataclasses.fields(obj):
+            nv, flipped = _rebuild_flip(getattr(obj, f.name), remaining, bit_i)
+            if flipped:
+                changes[f.name] = nv
+                break
+        if changes:
+            return dataclasses.replace(obj, **changes), True
+        return obj, False
+    return obj, False
+
+
+def corrupt_copy(payload: Any, rng: np.random.Generator) -> Optional[Any]:
+    """A structural copy of ``payload`` with exactly one bit flipped in
+    one array leaf, or ``None`` when the payload has no array data to
+    flip (control messages, plain scalars).  ``payload`` itself is never
+    mutated."""
+    surface = payload_flip_surface(payload)
+    if surface == 0:
+        return None
+    byte_i = int(rng.integers(surface))
+    bit_i = int(rng.integers(8))
+    out, flipped = _rebuild_flip(payload, [byte_i], bit_i)
+    if not flipped:  # pragma: no cover - surface accounting invariant
+        raise AssertionError("corrupt_copy failed to land a flip")
+    return out

@@ -47,8 +47,16 @@ def _launch(
     timeout: float,
     fabric: Optional[Fabric],
     elastic: bool,
+    detector=None,
 ) -> Tuple[List[Any], List[Optional[WorkerError]]]:
-    fab = fabric if fabric is not None else Fabric(world_size, timeout=timeout)
+    if fabric is not None:
+        fab = fabric
+        if detector is not None:
+            if fab.detector is not None and fab.detector is not detector:
+                raise ValueError("fabric already has a different detector")
+            fab.detector = detector
+    else:
+        fab = Fabric(world_size, timeout=timeout, detector=detector)
     if fab.world_size != world_size:
         raise ValueError("fabric world_size does not match")
 
@@ -113,6 +121,7 @@ def run_workers_elastic(
     fn: Callable[[Communicator], Any],
     timeout: float = 120.0,
     fabric: Optional[Fabric] = None,
+    detector=None,
 ) -> Tuple[List[Any], List[Optional[WorkerError]]]:
     """Fault-tolerant launch: worker deaths do not poison the fabric.
 
@@ -122,5 +131,12 @@ def run_workers_elastic(
     observe ``PeerFailed`` and can shrink the group.  The caller decides
     what surviving results mean; nothing is raised here unless the whole
     group exceeds the join deadline.
+
+    Pass a :class:`~repro.runtime.detector.FailureDetector` as
+    ``detector`` to arm heartbeat-based suspicion on the launch fabric
+    (it is attached to ``fabric`` when one is supplied): slow ranks are
+    then *suspected* before being confirmed dead, and a falsely-confirmed
+    rank can rejoin (see :mod:`repro.runtime.recovery`).
     """
-    return _launch(world_size, fn, timeout, fabric, elastic=True)
+    return _launch(world_size, fn, timeout, fabric, elastic=True,
+                   detector=detector)

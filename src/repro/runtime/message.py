@@ -12,7 +12,7 @@ claims without a real network.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -26,7 +26,11 @@ def payload_nbytes(payload: Any) -> int:
     if isinstance(payload, np.ndarray):
         return int(payload.nbytes)
     if hasattr(payload, "numel"):  # ParamStruct
-        # assume fp32 storage when unspecified
+        # price by the actual storage dtype of each array (an fp64 chunk
+        # is 8 bytes/element, fp16 is 2 — the old numel*4 assumed fp32).
+        values = getattr(payload, "values", None)
+        if callable(values):
+            return sum(int(v.nbytes) for v in values())
         return int(payload.numel) * 4
     if isinstance(payload, (tuple, list)):
         return sum(payload_nbytes(p) for p in payload)
@@ -46,6 +50,11 @@ class Message:
     tag: Tuple
     payload: Any
     nbytes: int
+    #: integrity frame: structural CRC32 of the payload, stamped by the
+    #: fabric at post time (None = unframed).  The chaos wire verifies it
+    #: on delivery and drives NACK + retransmit on mismatch — see
+    #: :mod:`repro.runtime.integrity`.
+    crc: Optional[int] = None
 
 
 def tag_kind(tag: Tuple) -> str:

@@ -38,6 +38,13 @@ __all__ = [
     "CrashRecoveryReport",
     "default_crash_spec",
     "run_crash_recovery",
+    "HEAL_SCHEDULES",
+    "DEFAULT_HEAL_MODES",
+    "HealFailure",
+    "HealDifferentialReport",
+    "run_heal_differential",
+    "SelfHealReport",
+    "run_self_heal",
 ]
 
 
@@ -521,4 +528,383 @@ def run_differential(
                 progress(name, seed, failure)
     if raise_on_failure:
         report.raise_if_failed()
+    return report
+
+
+# ---------------------------------------------------------------------------
+# self-healing harnesses: transient-fault differential + rejoin scenario
+# ---------------------------------------------------------------------------
+
+#: named transient-fault schedules for :func:`run_heal_differential`.
+#: Each is a set of :class:`~repro.runtime.ChaosPolicy` overrides applied
+#: to a quiet base, so the *only* adversaries in play are the transient
+#: faults under test (bit-flips are value-threatening and exercised
+#: through the CRC/NACK recovery path; flaps and stalls are timing-only
+#: and must never change what is computed).
+HEAL_SCHEDULES: Dict[str, Dict[str, float]] = {
+    "bitflip": dict(bitflip_prob=0.08),
+    "flap": dict(flap_prob=0.08, flap_len=3, flap_delay=0.002),
+    "stall": dict(stall_prob=0.05, max_stall=0.008),
+    "bitflip+flap": dict(bitflip_prob=0.05, flap_prob=0.05, flap_delay=0.002),
+    "storm": dict(
+        bitflip_prob=0.05, flap_prob=0.05, flap_delay=0.002,
+        stall_prob=0.03, max_stall=0.006,
+    ),
+}
+
+#: the WeiPipe modes the heal differential covers by default.
+DEFAULT_HEAL_MODES: Tuple[str, ...] = (
+    "weipipe-naive",
+    "weipipe-interleave",
+    "weipipe-zb",
+    "weipipe-hier",
+)
+
+
+@dataclass(frozen=True)
+class HealFailure:
+    """One (mode, world, precision, schedule) cell that was not bit-exact."""
+
+    strategy: str
+    world: int
+    precision: str
+    schedule: str
+    seed: int
+    message: str
+
+    def __str__(self) -> str:
+        return (
+            f"strategy={self.strategy!r} world={self.world} "
+            f"precision={self.precision} schedule={self.schedule!r} "
+            f"seed={self.seed}: {self.message}"
+        )
+
+
+@dataclass
+class HealDifferentialReport:
+    """Outcome of one :func:`run_heal_differential` sweep."""
+
+    modes: List[str]
+    worlds: List[int]
+    precisions: List[str]
+    schedules: List[str]
+    runs: int = 0
+    failures: List[HealFailure] = field(default_factory=list)
+    #: per-schedule aggregated fault/heal counts across the whole sweep
+    #: (bitflips, corrupt_frames, retransmits, flapped, stalls, ...).
+    injected: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        head = (
+            f"heal differential: {len(self.modes)} modes x "
+            f"{len(self.worlds)} worlds x {len(self.precisions)} precisions "
+            f"x {len(self.schedules)} fault schedules = {self.runs} runs, "
+            f"{len(self.failures)} failure(s)"
+        )
+        lines = [head]
+        for name in self.schedules:
+            agg = self.injected.get(name, {})
+            shown = {k: int(v) for k, v in agg.items() if v}
+            lines.append(f"  {name}: injected {shown or 'nothing'}")
+        if self.ok:
+            lines.append("  all runs bit-exact with their clean full-world twin")
+        else:
+            lines.extend(f"  {f}" for f in self.failures)
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise DifferentialMismatch(self.summary())
+
+
+def run_heal_differential(
+    modes: Iterable[str] = DEFAULT_HEAL_MODES,
+    worlds: Iterable[int] = (2, 4),
+    precisions: Iterable[str] = ("fp64", "fp32"),
+    schedules: Optional[Mapping[str, Mapping[str, float]]] = None,
+    seed: int = 0,
+    spec=None,
+    raise_on_failure: bool = False,
+    progress: Optional[Callable[[str, str, Optional[str]], None]] = None,
+) -> HealDifferentialReport:
+    """Transient faults must be invisible: train under seeded bit-flips,
+    link flaps and rank stalls and assert **bit-exactness** against a
+    clean run of the *same* strategy at the *same* world size.
+
+    The contract is stronger than :func:`run_differential`'s
+    tolerance-based serial comparison: a transient fault that stays
+    within the retransmit budget never changes group membership, so the
+    sequence of delivered payloads — and therefore every loss and every
+    weight bit — must be *identical* to the fault-free run.  CRC-driven
+    retransmission handles the value-threatening faults (SDC bit-flips);
+    flaps and stalls are pure latency and prove the schedule has no
+    timing dependence.
+
+    The report also aggregates what each schedule actually injected and
+    fails any schedule that injected nothing — a sweep that quietly
+    tested the no-fault path would otherwise read as coverage.
+    """
+    from dataclasses import replace as _replace
+
+    from .core.api import STRATEGIES
+    from .runtime import ChaosFabric, ChaosPolicy
+
+    if schedules is None:
+        schedules = HEAL_SCHEDULES
+    modes = list(modes)
+    worlds = [int(w) for w in worlds]
+    precisions = list(precisions)
+    report = HealDifferentialReport(
+        modes=modes, worlds=worlds, precisions=precisions,
+        schedules=list(schedules),
+    )
+    for name in schedules:
+        report.injected[name] = {}
+
+    from .nn.precision import FP32, FP64
+
+    policy_of = {"fp32": FP32, "fp64": FP64}
+    for precision in precisions:
+        if precision not in policy_of:
+            raise ValueError(f"precision must be fp32 or fp64, got {precision!r}")
+        base_spec = (
+            default_differential_spec(precision=policy_of[precision])
+            if spec is None
+            else _replace(spec, precision=policy_of[precision])
+        )
+        for mode in modes:
+            if mode not in STRATEGIES:
+                raise ValueError(f"unknown strategy {mode!r}")
+            runner = STRATEGIES[mode]
+            for world in worlds:
+                clean = runner(base_spec, world, None)
+                for i, (sched, knobs) in enumerate(schedules.items()):
+                    report.runs += 1
+                    cell = f"{mode}/P{world}/{precision}/{sched}"
+                    pol = _replace(
+                        ChaosPolicy.quiet(seed + i), **dict(knobs)
+                    )
+                    failure: Optional[str] = None
+                    fabric = ChaosFabric(world, pol)
+                    try:
+                        result = runner(base_spec, world, fabric)
+                        if list(map(float, result.losses)) != list(
+                            map(float, clean.losses)
+                        ):
+                            failure = (
+                                f"loss curve not bit-identical: "
+                                f"{result.losses} vs {clean.losses}"
+                            )
+                        else:
+                            for ci, (a, b) in enumerate(
+                                zip(result.chunks, clean.chunks)
+                            ):
+                                err = a.max_abs_diff(b)
+                                if err != 0.0:
+                                    failure = (
+                                        f"final weights differ at chunk {ci}: "
+                                        f"max |err|={err:.3e}"
+                                    )
+                                    break
+                    except Exception as exc:  # noqa: BLE001 - budget exhaustion etc.
+                        first = (str(exc).splitlines() or [""])[0]
+                        failure = f"{type(exc).__name__}: {first}"
+                    agg = report.injected[sched]
+                    for k, v in fabric.chaos.as_dict().items():
+                        agg[k] = agg.get(k, 0.0) + float(v)
+                    if failure is not None:
+                        report.failures.append(
+                            HealFailure(mode, world, precision, sched, seed + i, failure)
+                        )
+                    if progress is not None:
+                        progress(cell, sched, failure)
+    # honesty check: a schedule that injected no faults anywhere tested
+    # nothing — surface it as a failure, not silent green.
+    for sched in schedules:
+        agg = report.injected[sched]
+        fired = sum(
+            agg.get(k, 0.0)
+            for k in ("bitflips", "flapped", "stalls", "delayed", "dropped")
+        )
+        if fired == 0:
+            report.failures.append(
+                HealFailure(
+                    "*", 0, "*", sched, seed,
+                    "schedule injected no faults across the whole sweep "
+                    "(knobs too weak for this problem size)",
+                )
+            )
+    if raise_on_failure:
+        report.raise_if_failed()
+    return report
+
+
+@dataclass
+class SelfHealReport:
+    """Outcome of one :func:`run_self_heal` rejoin scenario."""
+
+    strategy: str
+    world: int
+    seed: int
+    flap_rank: int = -1
+    flap_at_post: int = -1
+    flap_duration: float = 0.0
+    attempts: int = 0
+    losses: List[float] = field(default_factory=list)
+    #: ring shrinks (``RecoveryEvent.describe()``).
+    events: List[str] = field(default_factory=list)
+    #: ring re-growths (``RejoinEvent.describe()``).
+    rejoins: List[str] = field(default_factory=list)
+    final_world: int = 0
+    ring_rejoins: float = 0.0
+    detector: Dict[str, float] = field(default_factory=dict)
+    verified: Optional[bool] = None
+    detail: str = ""
+
+    @property
+    def healed(self) -> bool:
+        return bool(self.rejoins) and self.final_world == self.world
+
+    @property
+    def ok(self) -> bool:
+        return self.healed and self.ring_rejoins >= 1 and self.verified is True
+
+    def summary(self) -> str:
+        head = (
+            f"self-heal: strategy={self.strategy} world={self.world} "
+            f"seed={self.seed} -> rank {self.flap_rank} NIC down for "
+            f"{self.flap_duration:.2f}s at its {self.flap_at_post}th send "
+            f"({self.attempts} attempt(s))"
+        )
+        lines = [head]
+        lines += [f"  {e}" for e in self.events]
+        lines += [f"  {e}" for e in self.rejoins]
+        if self.healed:
+            lines.append(
+                f"  ring re-grew to the full world of {self.final_world} "
+                f"rank(s); ring_rejoins={self.ring_rejoins:.0f}, "
+                f"detector={ {k: int(v) for k, v in self.detector.items() if v} }"
+            )
+        if self.verified is True:
+            lines.append(
+                "  differential: healed run matches the clean full-world "
+                "run (losses, final weights, accumulated updates)"
+            )
+        elif self.verified is False:
+            lines.append(f"  differential: MISMATCH — {self.detail}")
+        elif self.detail:
+            lines.append(f"  {self.detail}")
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise AssertionError(self.summary())
+
+
+def run_self_heal(
+    spec=None,
+    strategy: str = "weipipe-interleave",
+    world: int = 4,
+    seed: int = 0,
+    flap_rank: Optional[int] = None,
+    flap_duration: float = 0.45,
+    min_suspect_s: float = 0.08,
+    min_confirm_s: float = 0.25,
+    timeout: float = 180.0,
+    max_attempts: int = 3,
+) -> SelfHealReport:
+    """Knock a rank's NIC out mid-training and check the full heal cycle.
+
+    The scenario: one rank's links go silent for ``flap_duration``
+    seconds (its heartbeats are suppressed, its messages held).  The
+    failure detector must *suspect* it, then — past the adaptive phi
+    threshold — *confirm* it dead; survivors shrink the ring and keep
+    training; when the NIC comes back the declared-dead rank requests
+    readmission, receives the committed state from the leader at a step
+    boundary, and the ring re-grows to the full world.  The healed run
+    must match a clean full-world run (the step engines are pure
+    functions of the committed state, so the loss curve is independent
+    of the detour through the shrunken ring).
+
+    Wall-clock timing is real here (the flap races actual training
+    progress), so the harness probes the victim's send count first and
+    retries the injection point up to ``max_attempts`` times — later in
+    the run each time — until the outage lands inside the active phase
+    and a rejoin actually happens.
+    """
+    from dataclasses import replace as _replace
+
+    from .parallel.elastic import train_elastic
+    from .runtime import ChaosFabric, ChaosPolicy, FailureDetector
+
+    if spec is None:
+        spec = default_crash_spec(iters=8)
+
+    report = SelfHealReport(
+        strategy=strategy, world=world, seed=seed, flap_duration=flap_duration
+    )
+    rng = np.random.default_rng((abs(int(seed)), 0x5E1F))
+
+    probe_fab = ChaosFabric(world, ChaosPolicy.quiet(seed), timeout=timeout)
+    clean = train_elastic(spec, strategy, world, fabric=probe_fab, timeout=timeout)
+    if flap_rank is None:
+        flap_rank = int(rng.integers(0, world))
+    report.flap_rank = int(flap_rank)
+    total_posts = probe_fab._posts_by_rank.get(report.flap_rank, 0)
+
+    fractions = (0.35, 0.55, 0.75)
+    last_error = ""
+    for attempt in range(max_attempts):
+        report.attempts = attempt + 1
+        frac = fractions[min(attempt, len(fractions) - 1)]
+        at_post = max(1, int(total_posts * frac))
+        report.flap_at_post = at_post
+        policy = _replace(
+            ChaosPolicy.quiet(seed),
+            flap_rank=report.flap_rank,
+            flap_rank_at_post=at_post,
+            flap_rank_duration=flap_duration,
+        )
+        detector = FailureDetector(
+            min_suspect_s=min_suspect_s,
+            min_confirm_s=min_confirm_s,
+            poll_interval=0.01,
+        )
+        fabric = ChaosFabric(world, policy, timeout=timeout, detector=detector)
+        try:
+            result = train_elastic(
+                spec, strategy, world, fabric=fabric, timeout=timeout
+            )
+        except Exception as exc:  # noqa: BLE001 - retry a lost race
+            last_error = f"{type(exc).__name__}: {(str(exc).splitlines() or [''])[0]}"
+            continue
+        errors = result.extra["worker_errors"]
+        rejoins = result.extra["rejoin_events"]
+        if any(errors) or not rejoins:
+            last_error = (
+                "no rejoin happened (outage landed outside the active phase)"
+                if not rejoins
+                else f"worker errors: {[e for e in errors if e]}"
+            )
+            continue
+        report.losses = list(result.losses)
+        report.events = [e.describe() for e in result.extra["recovery_events"]]
+        report.rejoins = [e.describe() for e in rejoins]
+        report.final_world = len(result.extra["survivors"])
+        report.ring_rejoins = fabric._m_heal["ring_rejoins"].value
+        report.detector = {
+            k: float(v) for k, v in detector.as_dict().items()
+            if isinstance(v, (int, float))
+        }
+        diff = compare_train_results(result, clean, spec=spec)
+        report.verified = diff is None
+        report.detail = diff or ""
+        return report
+    report.detail = (
+        f"no successful heal in {max_attempts} attempt(s); last: {last_error}"
+    )
     return report
