@@ -96,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_train.add_argument("--recompute", action="store_true")
     p_train.add_argument("--seed", type=int, default=0)
+    _add_backend_flag(p_train)
     p_train.add_argument(
         "--checkpoint-every", type=int, default=None, metavar="N",
         help="write a durable checkpoint every N committed iterations "
@@ -227,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--retransmit-budget", type=int, default=16,
         help="per-flow cap on CRC-driven retransmissions",
     )
+    _add_backend_flag(p_ch)
     _add_obs_flags(p_ch)
 
     p_sh = sub.add_parser(
@@ -341,6 +343,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the zero-latency control runs (plain fabric)",
     )
     p_bo.add_argument(
+        "--backend", choices=["thread", "process"], default="thread",
+        help="process: also measure the thread-vs-process backend "
+             "comparison on the P>=4 weak-scaling configuration and "
+             "attach it to the artefact (the process backend must be "
+             "bit-exact and strictly faster there)",
+    )
+    p_bo.add_argument(
         "--out", default="BENCH_overlap.json",
         help="path of the JSON artefact",
     )
@@ -418,6 +427,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_tl.add_argument("--microbatches", type=int, default=8)
     p_tl.add_argument("--width", type=int, default=96)
     return parser
+
+
+def _add_backend_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--backend", choices=["thread", "process"], default="thread",
+        help="execution backend: thread (every rank a thread of this "
+             "interpreter; full chaos, tracing, detectors) or process "
+             "(one process per rank over shared-memory rings; delay-only "
+             "chaos, no tracing)",
+    )
 
 
 def _add_obs_flags(p: argparse.ArgumentParser) -> None:
@@ -597,7 +616,22 @@ def _cmd_train(args) -> int:
 
     fabric = None
     tracer = None
-    if args.trace_out is not None or args.metrics_out is not None or topo is not None:
+    if args.backend == "process":
+        if args.trace_out is not None or args.metrics_out is not None:
+            raise SystemExit(
+                "--trace/--metrics-out require --backend thread (the "
+                "process backend has no shared tracer or registry)"
+            )
+        if durable:
+            raise SystemExit(
+                "--checkpoint-every/--resume require --backend thread"
+            )
+        if args.dp > 1:
+            raise SystemExit("--dp > 1 requires --backend thread")
+        from .runtime import ProcessTransport
+
+        fabric = ProcessTransport(topology=topo)
+    elif args.trace_out is not None or args.metrics_out is not None or topo is not None:
         from .obs import Tracer
         from .runtime import Fabric
 
@@ -628,7 +662,7 @@ def _cmd_train(args) -> int:
           f"model={sum(c.numel for c in spec.init_chunks()):,} params")
     for i, loss in enumerate(result.losses):
         print(f"iter {spec.start_iteration + i:>4}: loss {loss:.6f}")
-    if topo is not None and fabric is not None:
+    if topo is not None and fabric is not None and hasattr(fabric, "link_traffic"):
         print(f"topology={args.groups} gateways={list(topo.gateways())}")
         for cls, t in fabric.link_traffic().items():
             print(f"  {cls:<6}: {t['bytes']:,} bytes in {t['messages']:,} "
@@ -812,7 +846,26 @@ def _cmd_chaos_sweep(args) -> int:
     tracer = None
     metrics = None
     fabric_factory = None
-    if args.trace_out is not None or args.metrics_out is not None:
+    if args.backend == "process":
+        if args.trace_out is not None or args.metrics_out is not None:
+            raise SystemExit(
+                "--trace/--metrics-out require --backend thread"
+            )
+        from .runtime import ProcessTransport
+        from .runtime.transport.process import validate_process_policy
+
+        try:
+            validate_process_policy(policy)
+        except ValueError as e:
+            raise SystemExit(
+                f"{e}\nhint: pass --drop-prob 0 --dup-prob 0 (and no "
+                "--faults) for a process-backend sweep"
+            ) from None
+
+        def fabric_factory(world, pol):
+            return ProcessTransport(policy=pol)
+
+    elif args.trace_out is not None or args.metrics_out is not None:
         from .obs import MetricsRegistry, Tracer
         from .runtime import ChaosFabric as _CF
 
@@ -937,6 +990,7 @@ def _cmd_bench_overlap(args) -> int:
         seed=args.seed, mode=args.mode, precision=args.precision,
         link_delay_s=args.link_delay, chaos_seed=args.chaos_seed,
         reps=args.reps, zero_latency_control=not args.no_control,
+        backend=args.backend,
         trace_path=args.trace_out, metrics_path=args.metrics_out,
     )
     with open(args.out, "w") as f:
@@ -963,6 +1017,20 @@ def _cmd_bench_overlap(args) -> int:
     print(f"steady-state allocs : {ovl['steady_state_allocs_per_iter']} "
           "new buffers/iteration after warmup")
     print(f"losses bit-equal    : {report['losses_equal']}")
+    if "backends" in report:
+        b = report["backends"]
+        bc = b["config"]
+        print(f"backend comparison  : world={bc['world']} "
+              f"hidden={bc['hidden']} layers={bc['n_layers']} "
+              f"delay<={bc['link_delay_s'] * 1e3:.1f}ms (overlap engine)")
+        print(f"  thread            : {b['thread']['tokens_per_s']:,.0f} "
+              "tokens/s")
+        print(f"  process           : {b['process']['tokens_per_s']:,.0f} "
+              "tokens/s")
+        print(f"  process/thread    : "
+              f"{b['process_over_thread_tokens_per_s']:.2f}x "
+              f"(bit-equal: {b['losses_equal']}, "
+              f"traffic-equal: {b['bytes_equal']})")
     print(f"[saved to {args.out}]")
     if "trace_path" in report:
         print(f"[trace written to {report['trace_path']}]")
@@ -972,6 +1040,14 @@ def _cmd_bench_overlap(args) -> int:
         return 1
     if ovl["steady_state_allocs_per_iter"] != 0:
         return 1
+    if "backends" in report:
+        b = report["backends"]
+        if not (b["losses_equal"] and b["bytes_equal"]):
+            return 1
+        if b["process_over_thread_tokens_per_s"] <= 1.0:
+            print("FAIL: process backend not strictly faster than thread "
+                  "on the weak-scaling configuration")
+            return 1
     return 0
 
 

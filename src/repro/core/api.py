@@ -69,11 +69,14 @@ def train(
     strategy: str = "weipipe-interleave",
     world_size: int = 1,
     fabric: Optional[Fabric] = None,
+    backend: Optional[str] = None,
 ) -> TrainResult:
     """Train ``spec`` with the named strategy on ``world_size`` workers.
 
     Pass a pre-built :class:`~repro.runtime.Fabric` to inspect traffic
-    statistics afterwards.
+    statistics afterwards (thread backend), or ``backend="process"`` to
+    fork one worker process per rank over shared memory — every strategy
+    is transport-agnostic, and results are bit-exact across backends.
     """
     try:
         fn = STRATEGIES[strategy]
@@ -81,4 +84,12 @@ def train(
         raise ValueError(
             f"unknown strategy {strategy!r}; choose from {strategy_names()}"
         ) from None
+    if backend is not None and backend != "thread":
+        if fabric is not None:
+            raise ValueError("pass either fabric= or backend=, not both")
+        # a Transport rides the fabric= plumbing: every train_* forwards
+        # it to run_workers, whose resolver accepts transports there.
+        from ..runtime import resolve_transport
+
+        fabric = resolve_transport(None, backend)
     return fn(spec, world_size, fabric)

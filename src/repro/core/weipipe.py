@@ -98,6 +98,11 @@ class _MicrobatchState:
 
 
 class _WeiPipeWorker:
+    #: whether received slots may be recycled once replaced (wire-copies
+    #: transports only); the hierarchical subclass opts out because its
+    #: gateway cache serves received slot objects all iteration.
+    _retire_slots = True
+
     def __init__(self, comm: Communicator, spec: TrainSpec, mode: str,
                  dp_comm: Optional[Communicator] = None,
                  overlap: bool = True):
@@ -179,6 +184,21 @@ class _WeiPipeWorker:
         # here instead of adding into grad_slot, so the circulating D can
         # arrive *after* the backward compute (see _ring_turns_overlap).
         self._deferred: Optional[List[Tuple[int, ParamStruct]]] = None
+        # wire-copies transports (the shm process backend) deliver fresh
+        # buffers every hop, so a replaced slot is garbage unless retired
+        # into the pool.  The hierarchical worker opts out: its gateway
+        # cache keeps serving received slot objects for the whole
+        # iteration (_retire_slots = False there).
+        self._wire_copies = (
+            self._retire_slots
+            and self.pool is not None
+            and bool(getattr(comm.fabric, "wire_copies", False))
+        )
+        # F slots cannot be recycled at replacement: forward caches hold
+        # views into their weights (the norm gains read again by each
+        # microbatch's backward), so retired F slots park here until the
+        # update pass, by which point every backward has consumed them.
+        self._retired_fwd: List[SlotWeights] = []
 
     # -- helpers ---------------------------------------------------------------
 
@@ -221,6 +241,24 @@ class _WeiPipeWorker:
         """Turn a received weight-flow payload (tag ``(flow, it, turn)``)
         into the slot dict the compute code reads."""
         return payload
+
+    def _retire_wslot(self, flow: str, slot: SlotWeights) -> None:
+        """Recycle a slot replaced by a newly received one.
+
+        Only meaningful on wire-copies transports: an in-process fabric
+        delivers by reference (the 'replaced' slot IS the neighbour's
+        live object), so this is a no-op there.  B and D slots have no
+        outstanding readers once replaced — their sends fully serialized
+        before returning, and backward caches hold no B-weight views —
+        and are released immediately; F slots are parked until the
+        update pass (see ``_retired_fwd``).
+        """
+        if not self._wire_copies:
+            return
+        if flow == "F":
+            self._retired_fwd.append(slot)
+        else:
+            self._release_slot(slot)
 
     def _release_slot(self, slot: SlotWeights) -> None:
         """Return a slot's arenas to the pool.
@@ -405,11 +443,15 @@ class _WeiPipeWorker:
             tt0 = pc()
             if t > 0:
                 t0 = pc()
+                old_f, old_b, old_d = self.fwd_slot, self.bwd_slot, self.grad_slot
                 self.fwd_slot = self._resolve_wslot(
                     "F", self.comm.recv(left, ("F", it, t)), it, t)
                 self.bwd_slot = self._resolve_wslot(
                     "B", self.comm.recv(left, ("B", it, t)), it, t)
                 self.grad_slot = self.comm.recv(left, ("D", it, t))
+                self._retire_wslot("F", old_f)
+                self._retire_wslot("B", old_b)
+                self._retire_wslot("D", old_d)
                 dt = pc() - t0
                 self._h_wire.observe(dt)
                 if traced:
@@ -463,11 +505,15 @@ class _WeiPipeWorker:
 
         # final hop brings every slot back to its home position.
         t0 = pc()
+        old_f, old_b, old_d = self.fwd_slot, self.bwd_slot, self.grad_slot
         self.fwd_slot = self._resolve_wslot(
             "F", self.comm.recv(left, ("F", it, total)), it, total)
         self.bwd_slot = self._resolve_wslot(
             "B", self.comm.recv(left, ("B", it, total)), it, total)
         self.grad_slot = self.comm.recv(left, ("D", it, total))
+        self._retire_wslot("F", old_f)
+        self._retire_wslot("B", old_b)
+        self._retire_wslot("D", old_d)
         dt = pc() - t0
         self._h_wire.observe(dt)
         if traced:
@@ -493,8 +539,11 @@ class _WeiPipeWorker:
             tt0 = pc()
             if t > 0:
                 t0 = pc()
+                old_f, old_b = self.fwd_slot, self.bwd_slot
                 self.fwd_slot = self._resolve_wslot("F", nf.wait(), it, t)
                 self.bwd_slot = self._resolve_wslot("B", nb.wait(), it, t)
+                self._retire_wslot("F", old_f)
+                self._retire_wslot("B", old_b)
                 dt = pc() - t0
                 self._h_wire.observe(dt)
                 if traced:
@@ -551,7 +600,9 @@ class _WeiPipeWorker:
                 # W slots it forwarded, so from here on those buffers (and
                 # this D) are exclusively ours to mutate.
                 t0 = pc()
+                old_d = self.grad_slot
                 self.grad_slot = cur_d.wait()
+                self._retire_wslot("D", old_d)
                 dt = pc() - t0
                 self._h_wire.observe(dt)
                 if traced:
@@ -579,9 +630,13 @@ class _WeiPipeWorker:
 
         # final hop brings every slot back to its home position.
         t0 = pc()
+        old_f, old_b, old_d = self.fwd_slot, self.bwd_slot, self.grad_slot
         self.fwd_slot = self._resolve_wslot("F", nf.wait(), it, total)
         self.bwd_slot = self._resolve_wslot("B", nb.wait(), it, total)
         self.grad_slot = nd.wait()
+        self._retire_wslot("F", old_f)
+        self._retire_wslot("B", old_b)
+        self._retire_wslot("D", old_d)
         dt = pc() - t0
         self._h_wire.observe(dt)
         if traced:
@@ -637,17 +692,28 @@ class _WeiPipeWorker:
         if target == self.rank:
             self.fwd_slot = {i: self._clone_chunk(w) for i, w in self.bwd_slot.items()}
         else:
+            inject = {i: self._clone_chunk(w) for i, w in self.bwd_slot.items()}
             self.comm.send(
-                {i: self._clone_chunk(w) for i, w in self.bwd_slot.items()},
+                inject,
                 target,
                 ("inject", it),
                 nbytes=self._slot_nbytes(self.bwd_slot, self.w_wire),
             )
+            if self._wire_copies:
+                # the receiver got its own copy off the wire; the local
+                # clone served only serialization and is garbage now.
+                self._release_slot(inject)
             source = slot_owner(self._initial_fwd_slot(), self.world)
             self.fwd_slot = self.comm.recv(source, ("inject", it))
         # the retired forward-flow copy is sole-owned here (the final D
         # wait proved its last reader finished) — recycle it.
         self._release_slot(old_fwd)
+        if self._retired_fwd:
+            # wire-copies mode: every backward (and deferred W pass) that
+            # could read a parked F slot's weights has run by now.
+            for slot in self._retired_fwd:
+                self._release_slot(slot)
+            self._retired_fwd.clear()
 
 
 def weipipe_step(

@@ -31,6 +31,15 @@ The in-process fabric runs every rank as a thread of one interpreter,
 so wall-clock on the control wire is pinned to total Python compute;
 the reference wire is where overlap structurally matters, exactly as on
 real clusters where WeiPipe's win grows with the comm/compute ratio.
+
+Since v2 the artefact also carries a **backend comparison**: the overlap
+engine on a P>=4 weak-scaling configuration under the thread transport
+(GIL-shared ranks, structural CRC framing per hop) and the process
+transport (one process per rank, shared-memory rings, arena-backed
+buffers shipped as zero-copy descriptors).  Both must be bit-exact; the
+process backend must be strictly faster on this configuration — its
+per-hop cost is a ~hundred-byte descriptor frame, independent of the
+model size the thread wire's integrity walk has to digest twice.
 """
 
 from __future__ import annotations
@@ -43,10 +52,16 @@ from ..nn.params import BufferPool
 from ..parallel.common import TrainSpec
 from ..runtime import ChaosFabric, ChaosPolicy, Fabric
 
-__all__ = ["SCHEMA", "REFERENCE_CONFIG", "run_overlap_comparison"]
+__all__ = [
+    "SCHEMA",
+    "REFERENCE_CONFIG",
+    "BACKEND_CONFIG",
+    "run_overlap_comparison",
+    "run_backend_comparison",
+]
 
 #: artefact schema tag — bump on any shape change (CI checks it).
-SCHEMA = "repro.bench_overlap/v1"
+SCHEMA = "repro.bench_overlap/v2"
 
 #: the acceptance gate's reference configuration: a 2-worker interleave
 #: ring, 16 tiny layers, 16 microbatches, fp64 end to end, on a seeded
@@ -68,6 +83,39 @@ REFERENCE_CONFIG: Dict = dict(
     chaos_seed=1,
 )
 
+#: the backend comparison's weak-scaling configuration: a 4-worker
+#: interleave ring with a payload-heavy model (hidden 64), fp64, on a
+#: seeded 0-3 ms delay wire.  Four iterations: the process backend's
+#: per-rank pools (and its shared arena) need the first circulation to
+#: warm, so the steady-state allocation gate reads the last two.
+BACKEND_CONFIG: Dict = dict(
+    hidden=64,
+    n_layers=16,
+    n_heads=2,
+    seq_len=16,
+    vocab=16,
+    world=4,
+    n_microbatches=16,
+    microbatch_size=1,
+    iters=4,
+    seed=7,
+    mode="interleave",
+    precision="fp64",
+    link_delay_s=0.003,
+    chaos_seed=1,
+)
+
+
+def _pool_dict(fabric, overlap: bool) -> Optional[Dict]:
+    """Pool counters of one run: thread fabrics expose the shared pool
+    object, transports expose the merged per-rank dict after launch."""
+    if not overlap:
+        return None
+    shared = getattr(fabric, "shared_pool", None)
+    if callable(shared):
+        return shared(BufferPool).as_dict()
+    return getattr(fabric, "pool", None)
+
 
 def _measure(
     spec: TrainSpec,
@@ -77,7 +125,12 @@ def _measure(
     make_fabric: Callable[[], Fabric],
     reps: int,
 ) -> Dict:
-    """Best-of-``reps`` wall clock for one engine on one wire."""
+    """Best-of-``reps`` wall clock for one engine on one wire.
+
+    ``make_fabric`` may return a :class:`~repro.runtime.Fabric` (thread
+    backend) or a :class:`~repro.runtime.Transport` (process backend) —
+    both expose ``stats`` after the run.
+    """
     from ..core.weipipe import train_weipipe
 
     best: Optional[Dict] = None
@@ -93,7 +146,7 @@ def _measure(
                 * spec.microbatch_size
                 * spec.cfg.seq_len
             )
-            pool = fabric.shared_pool(BufferPool) if overlap else None
+            pool = _pool_dict(fabric, overlap)
             allocs = result.extra["pool_allocs_by_iter"]
             wire_wait = sum(result.extra["wire_wait_s"].values())
             compute = sum(result.extra["compute_s"].values())
@@ -108,7 +161,7 @@ def _measure(
                 # compute: the harness's overlap-efficiency measure
                 # (lower = the wire hides better under compute).
                 "wire_wait_per_compute": (wire_wait / compute) if compute else 0.0,
-                "pool": pool.as_dict() if pool is not None else None,
+                "pool": pool,
                 "pool_allocs_by_iter": list(allocs),
                 # fresh pool buffers acquired by the final iteration:
                 # must be 0 once warm (the allocation-regression gate).
@@ -119,6 +172,78 @@ def _measure(
             }
     assert best is not None
     return best
+
+
+def run_backend_comparison(
+    hidden: int = 64,
+    n_layers: int = 16,
+    n_heads: int = 2,
+    seq_len: int = 16,
+    vocab: int = 16,
+    world: int = 4,
+    n_microbatches: int = 16,
+    microbatch_size: int = 1,
+    iters: int = 4,
+    seed: int = 7,
+    mode: str = "interleave",
+    precision: str = "fp64",
+    link_delay_s: float = 0.003,
+    chaos_seed: int = 1,
+    reps: int = 2,
+) -> Dict:
+    """Overlap engine, thread transport vs process transport, same seeds.
+
+    Defaults are :data:`BACKEND_CONFIG`.  Returns the per-backend section
+    of the v2 artefact: tokens/s and pool counters per backend, the
+    process/thread throughput ratio, and the bit-exactness and traffic
+    verdicts (both must hold — the backend changes how frames move, never
+    what is computed).
+    """
+    from ..runtime.transport import ProcessTransport
+
+    cfg = ModelConfig(
+        hidden=hidden, n_layers=n_layers, n_heads=n_heads,
+        seq_len=seq_len, vocab=vocab,
+    )
+    spec = TrainSpec(
+        cfg=cfg, n_microbatches=n_microbatches,
+        microbatch_size=microbatch_size, iters=iters, seed=seed,
+        precision={"fp32": FP32, "fp64": FP64}[precision],
+    )
+    policy = None
+    if link_delay_s:
+        policy = ChaosPolicy(
+            seed=chaos_seed, delay_prob=1.0, max_delay=link_delay_s,
+            drop_prob=0.0, duplicate_prob=0.0,
+        )
+
+    def thread_wire() -> Fabric:
+        if policy is None:
+            return Fabric(world, timeout=240.0)
+        return ChaosFabric(world, policy=policy, timeout=240.0)
+
+    thread = _measure(spec, world, mode, True, thread_wire, reps)
+    proc = _measure(
+        spec, world, mode, True, lambda: ProcessTransport(policy=policy), reps
+    )
+    return {
+        "config": {
+            "hidden": hidden, "n_layers": n_layers, "n_heads": n_heads,
+            "seq_len": seq_len, "vocab": vocab, "world": world,
+            "n_microbatches": n_microbatches,
+            "microbatch_size": microbatch_size, "iters": iters,
+            "seed": seed, "mode": mode, "precision": precision,
+            "link_delay_s": link_delay_s, "chaos_seed": chaos_seed,
+            "reps": reps,
+        },
+        "thread": thread,
+        "process": proc,
+        "process_over_thread_tokens_per_s": (
+            proc["tokens_per_s"] / thread["tokens_per_s"]
+        ),
+        "losses_equal": thread["losses"] == proc["losses"],
+        "bytes_equal": thread["bytes_moved"] == proc["bytes_moved"],
+    }
 
 
 def run_overlap_comparison(
@@ -138,6 +263,8 @@ def run_overlap_comparison(
     chaos_seed: int = 1,
     reps: int = 3,
     zero_latency_control: bool = True,
+    backend: str = "thread",
+    backend_config: Optional[Dict] = None,
     trace_path: Optional[str] = None,
     metrics_path: Optional[str] = None,
 ) -> Dict:
@@ -147,11 +274,17 @@ def run_overlap_comparison(
     reference wire's maximum per-message hold-back (uniform in
     ``[0, link_delay_s]``, deterministic per message in ``chaos_seed``).
 
+    ``backend="process"`` additionally runs the thread-vs-process backend
+    comparison (on :data:`BACKEND_CONFIG`, or ``backend_config``
+    overrides) and attaches it as the report's ``backends`` section.
+
     ``trace_path`` / ``metrics_path`` record one *extra* traced run of
     the overlap engine on the reference wire after the timed
     measurements — the timed runs themselves stay untraced so the
     benchmark numbers are never perturbed by the recorder.
     """
+    if backend not in ("thread", "process"):
+        raise ValueError(f"unknown backend {backend!r}")
     cfg = ModelConfig(
         hidden=hidden, n_layers=n_layers, n_heads=n_heads,
         seq_len=seq_len, vocab=vocab,
@@ -204,6 +337,11 @@ def run_overlap_comparison(
             ),
             "losses_equal": z_sync["losses"] == z_ovl["losses"],
         }
+
+    if backend == "process":
+        report["backends"] = run_backend_comparison(
+            **{**BACKEND_CONFIG, "reps": min(reps, 2), **(backend_config or {})}
+        )
 
     if trace_path is not None or metrics_path is not None:
         from ..core.weipipe import train_weipipe

@@ -40,7 +40,10 @@ class BufferPool:
     callers that need zeros must clear explicitly.
     """
 
-    __slots__ = ("_lock", "_free", "hits", "misses", "releases", "bytes_allocated")
+    __slots__ = (
+        "_lock", "_free", "hits", "misses", "releases", "bytes_allocated",
+        "backend", "allocator",
+    )
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -49,6 +52,16 @@ class BufferPool:
         self.misses = 0
         self.releases = 0
         self.bytes_allocated = 0
+        #: which transport this pool serves ("thread" in-process; the shm
+        #: fabric stamps "process") — carried into ``as_dict`` so bench
+        #: artefacts attribute pool behaviour to a backend.
+        self.backend = "thread"
+        #: optional miss allocator ``(numel, dtype) -> ndarray | None``.
+        #: The process transport points this at its shared-memory arena so
+        #: every pooled buffer is arena-resident and ships between ranks
+        #: as an (owner, offset) descriptor instead of a byte copy; a
+        #: ``None`` return (arena exhausted) falls back to private memory.
+        self.allocator = None
 
     @property
     def allocations(self) -> int:
@@ -64,6 +77,11 @@ class BufferPool:
                 return stack.pop()
             self.misses += 1
             self.bytes_allocated += key[0] * key[1].itemsize
+        alloc = self.allocator
+        if alloc is not None:
+            buf = alloc(key[0], key[1])
+            if buf is not None:
+                return buf
         return np.empty(key[0], dtype=key[1])
 
     def release(self, buf: np.ndarray) -> None:
@@ -76,6 +94,7 @@ class BufferPool:
         with self._lock:
             free = sum(len(v) for v in self._free.values())
         return {
+            "backend": self.backend,
             "hits": self.hits,
             "misses": self.misses,
             "allocations": self.misses,
@@ -122,6 +141,17 @@ class ParamStruct:
         ps._arena = arena
         ps._layout = layout
         return ps
+
+    # -- pickling (process-transport wire format) ---------------------------
+
+    def __reduce__(self):
+        """Arena-backed structs serialize as (layout, arena): one flat
+        buffer that pickle protocol 5 ships out of band — a weight slot
+        crosses the process wire as a single memcpy, not one copy per
+        named array.  Plain structs fall back to the data dict."""
+        if self._arena is not None:
+            return (_rebuild_arena_ps, (self._layout_key(), self._arena))
+        return (ParamStruct, (self._data,))
 
     # -- mapping protocol ---------------------------------------------------
 
@@ -385,3 +415,17 @@ class ParamStruct:
             for k in self._data
         ]
         return max(diffs) if diffs else 0.0
+
+
+def _rebuild_arena_ps(layout: Tuple, arena: np.ndarray) -> ParamStruct:
+    """Unpickle target for arena-backed structs: rebuild the named views
+    over the (possibly zero-copy, out-of-band) arena buffer."""
+    data: Dict[str, np.ndarray] = {}
+    offset = 0
+    for name, shape in layout:
+        n = 1
+        for s in shape:
+            n *= int(s)
+        data[name] = arena[offset : offset + n].reshape(shape)
+        offset += n
+    return ParamStruct._from_parts(data, arena, layout)

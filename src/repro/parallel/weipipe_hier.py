@@ -93,6 +93,11 @@ class _WeiPipeHierWorker(_WeiPipeWorker):
     that inheritance *is* the bit-exactness argument.
     """
 
+    #: the gateway cache hands out received slot *objects* for the rest
+    #: of the iteration, so replaced slots must never be recycled even
+    #: on a wire-copies transport.
+    _retire_slots = False
+
     def __init__(self, comm: Communicator, spec: TrainSpec, mode: str,
                  topology: Topology, overlap: bool = True):
         super().__init__(comm, spec, mode, overlap=overlap)

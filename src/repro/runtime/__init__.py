@@ -25,10 +25,22 @@ from .communicator import (
 )
 from .detector import FailureDetector
 from .integrity import CorruptFrameError, corrupt_copy, payload_crc32
-from .launcher import WorkerError, run_workers, run_workers_elastic
+from .launcher import (
+    WorkerError,
+    resolve_transport,
+    run_workers,
+    run_workers_elastic,
+)
 from .message import Message, TrafficStats, payload_nbytes, tag_kind
 from .recovery import ElasticResult, RecoveryEvent, RejoinEvent, elastic_worker
 from .subgroup import SubCommunicator, split_grid
+from .transport import (
+    Deadline,
+    ProcessTransport,
+    ShmFabric,
+    ThreadTransport,
+    Transport,
+)
 from .topology import (
     DEFAULT_INTER,
     DEFAULT_INTRA,
@@ -66,7 +78,13 @@ __all__ = [
     "TrafficStats",
     "WREF_NBYTES",
     "WorkerError",
+    "Deadline",
+    "ProcessTransport",
+    "ShmFabric",
+    "ThreadTransport",
+    "Transport",
     "parse_group_shape",
+    "resolve_transport",
     "all_gather",
     "all_reduce",
     "barrier",

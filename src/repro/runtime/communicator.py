@@ -44,6 +44,7 @@ from ..obs.tracer import NULL_TRACER
 from .integrity import payload_crc32
 from .message import Message, TrafficStats, payload_nbytes, tag_kind
 from .topology import Topology
+from .transport.base import Deadline
 
 __all__ = [
     "Fabric",
@@ -101,6 +102,14 @@ class PeerFailed(RuntimeError):
 
 class Fabric:
     """Shared state for one group of communicating workers."""
+
+    #: whether payloads cross a wire by value.  The in-process fabric
+    #: delivers by *reference* (sender and receiver share one buffer, so
+    #: a replaced ring slot may still be aliased elsewhere and must not
+    #: be recycled); the shm process fabric sets True (a received buffer
+    #: has exactly one owner, so the ring engines retire replaced slots
+    #: into the pool).
+    wire_copies = False
 
     def __init__(
         self,
@@ -299,6 +308,13 @@ class Fabric:
         """Extra text for RecvTimeout messages (chaos names its seed)."""
         return ""
 
+    def _idle_wait_locked(self, wait_for: float) -> None:
+        """Block until notified or ``wait_for`` elapses (caller holds the
+        lock).  Single-process transport endpoints override this: no peer
+        thread can ever notify their condvar, so they yield/poll on their
+        own clock instead of sleeping the full timeout."""
+        self._cond.wait(timeout=wait_for)
+
     # -- delivery --------------------------------------------------------------
 
     def _drain_locked(self, key: Tuple[int, int, Tuple]) -> None:
@@ -360,9 +376,7 @@ class Fabric:
                 del self._posted[(h._dst, h._src, h._tag)]
 
     def _wait_locked(self, h: "_RecvHandle", timeout: Optional[float]) -> Any:
-        limit = timeout if timeout is not None else self.timeout
-        start = _now()
-        deadline = start + limit
+        deadline = Deadline(timeout if timeout is not None else self.timeout)
         while True:
             if h._done:
                 return h._value
@@ -415,14 +429,14 @@ class Fabric:
                                 None,
                             )
                             continue  # next pass raises PeerFailed
-                if now >= deadline:
+                if deadline.expired():
                     raise RecvTimeout(
                         f"rank {h._dst} timed out waiting for msg from rank "
-                        f"{h._src} tag={h._tag} after {now - start:.3f}s "
-                        f"(timeout {limit}s{self._timeout_context()}; "
+                        f"{h._src} tag={h._tag} after {deadline.elapsed():.3f}s "
+                        f"(timeout {deadline.limit}s{self._timeout_context()}; "
                         f"likely a schedule deadlock)"
                     )
-                wait_for = deadline - now
+                wait_for = deadline.remaining()
                 nxt = self._next_event_locked()
                 if nxt is not None:
                     # wake when the earliest in-flight message lands
@@ -431,7 +445,7 @@ class Fabric:
                     # re-judge peers at the detector's cadence even when
                     # no wire event is due.
                     wait_for = min(wait_for, det.poll_interval)
-                self._cond.wait(timeout=wait_for)
+                self._idle_wait_locked(wait_for)
             except BaseException:
                 # an abandoned posted receive must not swallow a later
                 # message on its channel: unpost before propagating.
@@ -563,19 +577,18 @@ class Fabric:
     ) -> Tuple[int, int]:
         """Block until :meth:`admit_rejoin` lets ``rank`` back in; returns
         ``(recovery_epoch, leader_rank)``."""
-        limit = timeout if timeout is not None else self.timeout
-        deadline = _now() + limit
+        deadline = Deadline(timeout if timeout is not None else self.timeout)
         with self._cond:
             while rank not in self._admitted:
                 if self._aborted:
                     raise FabricAborted(self._aborted)
-                now = _now()
-                if now >= deadline:
+                if deadline.expired():
                     raise RecvTimeout(
-                        f"rank {rank} was never re-admitted within {limit}s "
+                        f"rank {rank} was never re-admitted within "
+                        f"{deadline.limit}s "
                         f"(survivors finished or rejected the rejoin)"
                     )
-                self._cond.wait(timeout=deadline - now)
+                self._cond.wait(timeout=deadline.remaining())
             return self._admitted.pop(rank)
 
     def acknowledge_failures(self, rank: int) -> None:

@@ -57,9 +57,11 @@ def _is_paramstruct(obj: Any) -> bool:
 
 def _crc_array(arr: np.ndarray, crc: int) -> int:
     # dtype and shape are part of the frame: a garbled header must not
-    # alias a different array with the same bytes.
-    crc = zlib.crc32(str(arr.dtype).encode(), crc)
-    crc = zlib.crc32(repr(arr.shape).encode(), crc)
+    # alias a different array with the same bytes.  dtype.str ('<f8') is
+    # a cached attribute — str(dtype) builds the name string every call
+    # and used to dominate the whole digest for many-leaf payloads.
+    crc = zlib.crc32(arr.dtype.str.encode(), crc)
+    crc = zlib.crc32(struct.pack("<B%dq" % arr.ndim, arr.ndim, *arr.shape), crc)
     if not arr.flags.c_contiguous:
         arr = np.ascontiguousarray(arr)
     return zlib.crc32(arr, crc)
@@ -72,7 +74,7 @@ def _crc_walk(obj: Any, crc: int) -> int:
         return _crc_array(obj, zlib.crc32(b"A", crc))
     if isinstance(obj, np.generic):
         crc = zlib.crc32(b"G", crc)
-        crc = zlib.crc32(str(obj.dtype).encode(), crc)
+        crc = zlib.crc32(obj.dtype.str.encode(), crc)
         return zlib.crc32(obj.tobytes(), crc)
     if isinstance(obj, bool):
         return zlib.crc32(b"O1" if obj else b"O0", crc)

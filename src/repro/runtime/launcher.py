@@ -1,115 +1,98 @@
-"""Launch a group of worker threads sharing one fabric.
+"""Launch a group of workers on a pluggable transport.
 
 ``run_workers(P, fn)`` is the moral equivalent of ``mpiexec -n P``:
-``fn(comm)`` runs once per rank on its own thread, return values come
-back indexed by rank, and the first exception anywhere aborts the whole
-group (peers blocked in ``recv`` are woken with ``FabricAborted``) and
-is re-raised in the caller with its original traceback.
+``fn(comm)`` runs once per rank, return values come back indexed by
+rank, and the first exception anywhere aborts the whole group (peers
+blocked in ``recv`` are woken with ``FabricAborted``) and is re-raised
+in the caller with its original traceback.
 
 ``run_workers_elastic`` is the fault-tolerant variant: a worker's death
 marks only *that rank* failed (:meth:`Fabric.fail_rank`) so survivors —
 notified via :class:`~repro.runtime.communicator.PeerFailed` — can
 shrink the group and keep training (:mod:`repro.runtime.recovery`).
-Both variants share one launch path and one *group-wide* join deadline:
-``timeout`` bounds the whole group's wall clock, not each thread's join
-in sequence.
 
-Threads — not processes — because the workloads are NumPy-bound (GIL
-released inside BLAS) and, more importantly, because the point of the
-functional runtime is *semantics*, not wall-clock parallel speed; the
-performance questions are answered by :mod:`repro.sim`.
+*Where* the ranks execute is the transport's business
+(:mod:`repro.runtime.transport`):
+
+* ``backend="thread"`` (default) — daemon threads of this interpreter
+  on one shared zero-copy fabric; full chaos / integrity / detector /
+  rejoin machinery; the semantic oracle,
+* ``backend="process"`` — one forked process per rank over
+  shared-memory rings; genuinely parallel compute, same semantics,
+  bit-exact results (``repro.testing.run_backend_differential``).
+
+Passing a pre-built ``fabric`` (to inspect traffic afterwards) implies
+the thread backend; a :class:`~repro.runtime.transport.Transport`
+instance can be given either as ``fabric=`` or ``backend=``.  Both
+variants share one launch path and one *group-wide* join deadline:
+``timeout`` bounds the whole group's wall clock, not each rank's join
+in sequence.
 """
 
 from __future__ import annotations
 
-import threading
-import time
-import traceback
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple, Union
 
-from .communicator import Communicator, Fabric
+from .communicator import Communicator
+from .transport.base import Transport, WorkerError
 
-__all__ = ["run_workers", "run_workers_elastic", "WorkerError"]
+__all__ = ["run_workers", "run_workers_elastic", "resolve_transport", "WorkerError"]
 
 
-class WorkerError(RuntimeError):
-    """Wraps an exception raised inside a worker, annotated with its rank."""
+def resolve_transport(fabric: Any = None, backend: Any = None) -> Transport:
+    """Pick the transport for a launch.
 
-    def __init__(self, rank: int, original: BaseException, tb: str):
-        super().__init__(f"worker rank {rank} failed: {original!r}\n{tb}")
-        self.rank = rank
-        self.original = original
+    Accepts the historical ``fabric=`` argument (a ``Fabric`` — or, by
+    duck-typing, anything with ``communicator()`` — implies the thread
+    backend sharing that fabric), a backend name (``"thread"`` /
+    ``"process"``), or a ready :class:`Transport` instance through
+    either parameter.
+    """
+    from .transport.process import ProcessTransport
+    from .transport.thread import ThreadTransport
 
-
-def _launch(
-    world_size: int,
-    fn: Callable[[Communicator], Any],
-    timeout: float,
-    fabric: Optional[Fabric],
-    elastic: bool,
-    detector=None,
-) -> Tuple[List[Any], List[Optional[WorkerError]]]:
-    if fabric is not None:
-        fab = fabric
-        if detector is not None:
-            if fab.detector is not None and fab.detector is not detector:
-                raise ValueError("fabric already has a different detector")
-            fab.detector = detector
-    else:
-        fab = Fabric(world_size, timeout=timeout, detector=detector)
-    if fab.world_size != world_size:
-        raise ValueError("fabric world_size does not match")
-
-    results: List[Any] = [None] * world_size
-    errors: List[Optional[WorkerError]] = [None] * world_size
-
-    def target(rank: int) -> None:
-        comm = fab.communicator(rank)
-        try:
-            results[rank] = fn(comm)
-        except BaseException as exc:  # noqa: BLE001 - must propagate everything
-            errors[rank] = WorkerError(rank, exc, traceback.format_exc())
-            if elastic:
-                # fail-stop: only this rank dies; survivors are notified
-                # at their next fabric op and may recover.
-                fab.fail_rank(rank, f"raised {exc!r}")
-            else:
-                fab.abort(f"rank {rank} raised {exc!r}")
-
-    threads = [
-        threading.Thread(target=target, args=(r,), name=f"worker-{r}", daemon=True)
-        for r in range(world_size)
-    ]
-    for t in threads:
-        t.start()
-    # one shared deadline for the whole group: joining P threads in
-    # sequence must not stretch the worst case to P x timeout.
-    deadline = time.monotonic() + timeout
-    for t in threads:
-        t.join(timeout=max(0.0, deadline - time.monotonic()))
-        if t.is_alive():
-            fab.abort("join timeout")
-            raise TimeoutError(
-                f"worker {t.name} did not finish within the group deadline "
-                f"({timeout}s shared across all ranks)"
+    if isinstance(fabric, Transport):
+        if backend is not None and backend is not fabric:
+            raise ValueError("pass the transport via fabric= or backend=, not both")
+        return fabric
+    if isinstance(backend, Transport):
+        if fabric is not None:
+            raise ValueError(
+                f"cannot attach a shared fabric to an explicit "
+                f"{type(backend).__name__}"
             )
-    return results, errors
+        return backend
+    if backend is None or backend == "thread":
+        return ThreadTransport(fabric)
+    if backend == "process":
+        if fabric is not None:
+            raise ValueError(
+                "backend='process' workers live in separate processes and "
+                "cannot share an in-process fabric; drop fabric= (telemetry "
+                "is on the transport) or use backend='thread'"
+            )
+        return ProcessTransport()
+    raise ValueError(f"unknown backend {backend!r} (expected 'thread' or 'process')")
 
 
 def run_workers(
     world_size: int,
     fn: Callable[[Communicator], Any],
     timeout: float = 120.0,
-    fabric: Optional[Fabric] = None,
+    fabric: Any = None,
+    backend: Union[str, Transport, None] = None,
 ) -> List[Any]:
     """Run ``fn(comm)`` on ``world_size`` ranks; return per-rank results.
 
     ``timeout`` bounds both individual receives (fabric timeout) and the
     group-wide join, so schedule deadlocks surface as errors rather than
     hangs.  Pass a pre-built ``fabric`` to inspect traffic stats after
-    the run.  Any worker exception aborts the whole group (fail-fast).
+    the run (thread backend), or ``backend="process"`` to fork one
+    process per rank.  Any worker exception aborts the whole group
+    (fail-fast).
     """
-    results, errors = _launch(world_size, fn, timeout, fabric, elastic=False)
+    transport = resolve_transport(fabric, backend)
+    results, errors = transport.launch(world_size, fn, timeout, elastic=False)
     for err in errors:
         if err is not None:
             raise err
@@ -120,8 +103,9 @@ def run_workers_elastic(
     world_size: int,
     fn: Callable[[Communicator], Any],
     timeout: float = 120.0,
-    fabric: Optional[Fabric] = None,
+    fabric: Any = None,
     detector=None,
+    backend: Union[str, Transport, None] = None,
 ) -> Tuple[List[Any], List[Optional[WorkerError]]]:
     """Fault-tolerant launch: worker deaths do not poison the fabric.
 
@@ -136,7 +120,11 @@ def run_workers_elastic(
     ``detector`` to arm heartbeat-based suspicion on the launch fabric
     (it is attached to ``fabric`` when one is supplied): slow ranks are
     then *suspected* before being confirmed dead, and a falsely-confirmed
-    rank can rejoin (see :mod:`repro.runtime.recovery`).
+    rank can rejoin (see :mod:`repro.runtime.recovery`).  Detectors
+    require the thread backend; on the process backend a worker death is
+    instead observed by the launcher itself (the OS reports the exit)
+    and published to survivors through the shared control block.
     """
-    return _launch(world_size, fn, timeout, fabric, elastic=True,
-                   detector=detector)
+    transport = resolve_transport(fabric, backend)
+    return transport.launch(world_size, fn, timeout, elastic=True,
+                            detector=detector)

@@ -90,5 +90,25 @@ class TrafficStats:
         self.by_kind[kind] = self.by_kind.get(kind, 0) + msg.nbytes
         self.msgs_by_kind[kind] = self.msgs_by_kind.get(kind, 0) + 1
 
+    def merge(self, other: "TrafficStats") -> "TrafficStats":
+        """Fold another ledger into this one (in place).
+
+        Each message is recorded exactly once, by its *sender's* fabric,
+        so summing the per-process ledgers of the shm transport
+        reproduces the global traffic the shared thread fabric would
+        have recorded.
+        """
+        self.messages += other.messages
+        self.bytes_total += other.bytes_total
+        for mine, theirs in (
+            (self.by_pair, other.by_pair),
+            (self.by_src, other.by_src),
+            (self.by_kind, other.by_kind),
+            (self.msgs_by_kind, other.msgs_by_kind),
+        ):
+            for k, v in theirs.items():
+                mine[k] = mine.get(k, 0) + v
+        return self
+
     def max_pair_bytes(self) -> int:
         return max(self.by_pair.values(), default=0)

@@ -1,0 +1,52 @@
+"""Pluggable execution transports for worker groups.
+
+``backend="thread"`` (default) runs every rank as a daemon thread on
+one shared in-process :class:`~repro.runtime.communicator.Fabric` —
+zero-copy, full chaos/integrity/detector machinery, the semantic
+oracle.  ``backend="process"`` forks one process per rank and ships
+frames through shared-memory rings — genuinely parallel compute, same
+tag/FIFO/abort/fail-stop semantics, bit-exact with the thread backend.
+"""
+
+from .base import Deadline, Transport, WorkerError, join_group
+from .shm import (
+    ControlBlock,
+    Frame,
+    FrameDecoder,
+    ShmRing,
+    encode_frame,
+    ring_offset,
+    ring_segment_size,
+)
+from .thread import ThreadTransport
+
+__all__ = [
+    "ControlBlock",
+    "Deadline",
+    "Frame",
+    "FrameDecoder",
+    "ProcessTransport",
+    "ShmFabric",
+    "ShmRing",
+    "ThreadTransport",
+    "Transport",
+    "WorkerError",
+    "encode_frame",
+    "join_group",
+    "ring_offset",
+    "ring_segment_size",
+    "validate_process_policy",
+]
+
+# the process transport imports the communicator (its fabric subclasses
+# Fabric), which itself imports .base above — resolve lazily so merely
+# importing the communicator cannot recurse into this package.
+_LAZY = {"ProcessTransport", "ShmFabric", "validate_process_policy"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import process
+
+        return getattr(process, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

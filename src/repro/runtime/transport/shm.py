@@ -1,0 +1,592 @@
+"""Shared-memory wire primitives for the process transport.
+
+Three small pieces, deliberately free of any repro-specific policy so
+they can be unit-tested in isolation:
+
+* :class:`ShmRing` — a single-producer/single-consumer circular *byte
+  stream* over a shared-memory slice.  Positions are monotonically
+  increasing u64 counters (``wpos``/``rpos``); the producer publishes
+  ``wpos`` only after the payload bytes are copied in (and the consumer
+  ``rpos`` only after they are copied out), so a reader never observes
+  bytes that are not fully written — the seqlock-style ordering the
+  frame headers rely on.  Frames may exceed the ring capacity: both
+  ends stream partial chunks.
+
+* the **frame codec** (:func:`encode_frame` / :class:`FrameDecoder`) —
+  one fabric message per frame.  The header carries the per-link
+  sequence number and a CRC32 over every frame byte after the header
+  (meta + pickle blob + out-of-band payload), accumulated by the
+  decoder as the bytes stream in — the PR-7 integrity frame, but
+  priced at ``zlib.crc32`` memory bandwidth on the serialized bytes
+  instead of a per-leaf structural walk, and covering exactly what the
+  wire carried.  Payloads are pickled with protocol 5: array bodies
+  travel *out of band*.  A body resident in a :class:`ShmArena` region
+  crosses as a ``(region, offset, nbytes, fmt)`` descriptor — zero
+  bytes moved, the receiver wraps the same shared pages — while private
+  bodies are appended raw after the blob and land directly into buffers
+  acquired from the receiving rank's :class:`BufferPool`, the same
+  ``(numel, dtype)`` keys the ring engines later release, so the
+  zero-steady-state-allocation property survives the backend switch.
+
+* :class:`ShmArena` — per-rank bump regions of the same segment that
+  back the :class:`BufferPool` miss allocator in each worker, making
+  every pooled buffer addressable by every rank and therefore
+  descriptor-shippable.  This is what makes the weight ring *zero-copy
+  across processes*: after the first circulation warms the pools, a
+  slot hop moves a ~hundred-byte frame regardless of model size.
+
+* :class:`ControlBlock` — the shared fail-stop state: one abort flag +
+  reason and a per-rank failed/reason/step record, written before the
+  flag that publishes them.  Every fabric operation on every rank
+  reads one small contiguous *disturb token* (abort byte + fail flags)
+  and compares it against its cached copy, so the hot path costs one
+  slice read, not a parse.
+
+Frame layout (little-endian)::
+
+    u32 seq        per-link frame counter (gap = stream corruption)
+    u32 crc        CRC32 of all frame bytes after the header
+                   (valid when flags bit 0)
+    u32 flags      bit 0: crc present
+    u32 meta_len   pickled (tag, logical_nbytes, buffer_specs)
+    u32 blob_len   pickle-5 payload blob (out-of-band buffers elided)
+    u32 payload_len  total out-of-band bytes following the blob
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import threading
+import zlib
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ControlBlock",
+    "Frame",
+    "FrameDecoder",
+    "ShmArena",
+    "ShmRing",
+    "arena_offset",
+    "encode_frame",
+    "ring_segment_size",
+    "ring_offset",
+]
+
+_HEADER = struct.Struct("<IIIIII")
+FLAG_CRC = 1
+
+_U64 = struct.Struct("<Q")
+
+
+class ShmRing:
+    """SPSC circular byte stream over a shared-memory slice.
+
+    The slice starts with a 64-byte header (``wpos`` at offset 0,
+    ``rpos`` at offset 8, the rest padding to keep the two counters on
+    separate cache lines from the data) followed by ``capacity`` data
+    bytes.  Exactly one process writes and one reads.
+    """
+
+    HEADER = 64
+
+    def __init__(self, buf: memoryview, capacity: int, create: bool = False):
+        if len(buf) < self.HEADER + capacity:
+            raise ValueError("ring slice smaller than header + capacity")
+        self._buf = buf
+        self._cap = capacity
+        self._data = buf[self.HEADER : self.HEADER + capacity]
+        if create:
+            buf[0:16] = b"\x00" * 16
+
+    @property
+    def capacity(self) -> int:
+        return self._cap
+
+    def _wpos(self) -> int:
+        return _U64.unpack_from(self._buf, 0)[0]
+
+    def _rpos(self) -> int:
+        return _U64.unpack_from(self._buf, 8)[0]
+
+    def readable(self) -> int:
+        """Bytes the consumer could read right now."""
+        return self._wpos() - self._rpos()
+
+    def writable(self) -> int:
+        """Bytes the producer could write right now."""
+        return self._cap - (self._wpos() - self._rpos())
+
+    def write_some(self, mv: memoryview) -> int:
+        """Copy as much of ``mv`` as fits; returns bytes written.
+
+        Producer side only.  The position is published *after* the data
+        copy, so a concurrent reader never sees unwritten bytes.
+        """
+        w = self._wpos()
+        n = min(len(mv), self._cap - (w - self._rpos()))
+        if n <= 0:
+            return 0
+        off = w % self._cap
+        first = min(n, self._cap - off)
+        self._data[off : off + first] = mv[:first]
+        if n > first:
+            self._data[0 : n - first] = mv[first:n]
+        _U64.pack_into(self._buf, 0, w + n)
+        return n
+
+    def read_into(self, mv: memoryview) -> int:
+        """Fill as much of ``mv`` as available; returns bytes read.
+
+        Consumer side only; publishes ``rpos`` after the copy so the
+        producer cannot overwrite bytes still being read.
+        """
+        r = self._rpos()
+        n = min(len(mv), self._wpos() - r)
+        if n <= 0:
+            return 0
+        off = r % self._cap
+        first = min(n, self._cap - off)
+        mv[:first] = self._data[off : off + first]
+        if n > first:
+            mv[first:n] = self._data[0 : n - first]
+        _U64.pack_into(self._buf, 8, r + n)
+        return n
+
+
+def ring_segment_size(world: int, control_bytes: int, link_bytes: int) -> int:
+    """Total shared-segment size for a full mesh of directed links."""
+    links = world * (world - 1)
+    return control_bytes + links * (ShmRing.HEADER + link_bytes)
+
+
+def ring_offset(
+    src: int, dst: int, world: int, control_bytes: int, link_bytes: int
+) -> int:
+    """Byte offset of the ``src -> dst`` ring inside the segment."""
+    if src == dst:
+        raise ValueError("no ring for a self link")
+    idx = src * (world - 1) + (dst if dst < src else dst - 1)
+    return control_bytes + idx * (ShmRing.HEADER + link_bytes)
+
+
+def arena_offset(
+    rank: int, world: int, control_bytes: int, link_bytes: int, arena_bytes: int
+) -> int:
+    """Byte offset of ``rank``'s arena region (regions follow the rings)."""
+    return (
+        ring_segment_size(world, control_bytes, link_bytes)
+        + rank * arena_bytes
+    )
+
+
+class ShmArena:
+    """Per-rank bump allocator over the segment's shared arena regions.
+
+    Each rank *allocates* only from its own region, but can *address*
+    every rank's region: a pooled buffer that wandered here from a peer
+    (delivered by descriptor, released into the local pool, re-acquired)
+    is still shared memory, so forwarding it again costs one descriptor.
+    ``alloc`` never recycles — the :class:`~repro.nn.params.BufferPool`
+    free-list is the recycler, so a region's high-water mark is the peak
+    number of live buffers, not cumulative traffic.  Exhaustion returns
+    ``None`` and the caller falls back to private memory (which simply
+    travels by copy).
+
+    Every allocation reserves a power-of-two *span* (``span_nbytes``)
+    even though the returned array is exact-sized.  Ring slots wander
+    between ranks' pools with slightly different sizes per chunk, so the
+    process-side pool recycles arena buffers by span class rather than
+    exact size; rounding at the source guarantees any buffer of a class
+    can satisfy any request of that class without overrunning into the
+    next allocation.
+    """
+
+    ALIGN = 64
+
+    @staticmethod
+    def span_nbytes(nbytes: int) -> int:
+        """The power-of-two span class covering ``nbytes``."""
+        if nbytes <= ShmArena.ALIGN:
+            return ShmArena.ALIGN
+        return 1 << (nbytes - 1).bit_length()
+
+    def __init__(self, regions: List[memoryview], own: int):
+        self._regions = regions
+        self._own = own
+        self._off = 0
+        self._lock = threading.Lock()
+        spans: List[Tuple[int, int, int]] = []
+        for idx, region in enumerate(regions):
+            if len(region) == 0:
+                continue
+            base = np.frombuffer(region, dtype=np.uint8).__array_interface__[
+                "data"
+            ][0]
+            spans.append((base, base + len(region), idx))
+        self._spans = sorted(spans)
+
+    @property
+    def capacity(self) -> int:
+        return len(self._regions[self._own])
+
+    @property
+    def used(self) -> int:
+        return self._off
+
+    def alloc(self, numel: int, dtype) -> Optional[np.ndarray]:
+        """A flat shared-memory buffer from this rank's region, or
+        ``None`` when the region is exhausted."""
+        dt = np.dtype(dtype)
+        nbytes = int(numel) * dt.itemsize
+        if nbytes == 0:
+            return np.empty(0, dtype=dt)
+        span = self.span_nbytes(nbytes)
+        region = self._regions[self._own]
+        with self._lock:
+            start = (self._off + self.ALIGN - 1) & ~(self.ALIGN - 1)
+            if start + span > len(region):
+                return None
+            self._off = start + span
+        return np.frombuffer(region[start : start + nbytes], dtype=dt)
+
+    def locate(self, raw: memoryview) -> Optional[Tuple[int, int]]:
+        """``(region, offset)`` when ``raw`` lies wholly inside a shared
+        arena region (any rank's), else ``None``."""
+        if raw.nbytes == 0:
+            return None
+        addr = np.frombuffer(raw, dtype=np.uint8).__array_interface__["data"][0]
+        for lo, hi, idx in self._spans:
+            if lo <= addr and addr + raw.nbytes <= hi:
+                return idx, addr - lo
+        return None
+
+    def view(self, region: int, offset: int, nbytes: int, dtype) -> np.ndarray:
+        """Wrap ``nbytes`` at ``(region, offset)`` as a flat array —
+        the receive side of a descriptor, zero bytes moved."""
+        dt = np.dtype(dtype)
+        if offset < 0 or offset + nbytes > len(self._regions[region]):
+            raise ValueError(
+                f"arena descriptor out of range: region {region} "
+                f"offset {offset} nbytes {nbytes}"
+            )
+        return np.frombuffer(
+            self._regions[region][offset : offset + nbytes], dtype=dt
+        )
+
+
+# -- frame codec -------------------------------------------------------------
+
+
+class Frame:
+    """One decoded wire frame (payload already rebuilt).
+
+    ``crc`` is the header's declared digest (``None`` when the sender
+    framed without one); ``crc_actual`` is the digest the decoder
+    accumulated over the bytes that actually streamed in.
+    """
+
+    __slots__ = ("seq", "crc", "crc_actual", "tag", "nbytes", "payload")
+
+    def __init__(self, seq: int, crc: Optional[int], crc_actual: Optional[int],
+                 tag: Tuple, nbytes: int, payload: Any):
+        self.seq = seq
+        self.crc = crc
+        self.crc_actual = crc_actual
+        self.tag = tag
+        self.nbytes = nbytes
+        self.payload = payload
+
+
+def encode_frame(
+    payload: Any,
+    tag: Tuple,
+    nbytes: int,
+    seq: int,
+    integrity: bool = True,
+    arena: Optional[ShmArena] = None,
+) -> List[memoryview]:
+    """Serialize one message into an ordered list of byte chunks.
+
+    Contiguous array bodies are elided from the pickle blob
+    (``buffer_callback``).  A body that lives inside a shared arena
+    region becomes a 4-tuple *descriptor* spec ``(region, offset,
+    nbytes, fmt)`` — zero bytes on the wire, the receiver re-maps the
+    same memory.  Anything else becomes a 2-tuple copy spec ``(nbytes,
+    fmt)`` with the raw bytes appended after the blob, so a private
+    buffer still crosses as exactly one memcpy into the ring.  With
+    ``integrity`` the header carries a CRC32 over every chunk after the
+    header itself — for descriptor payloads that is the descriptor, not
+    the mapped bytes, mirroring the thread wire's by-reference handoff.
+    """
+    bufs: List[pickle.PickleBuffer] = []
+    blob = pickle.dumps(payload, protocol=5, buffer_callback=bufs.append)
+    raws: List[memoryview] = []
+    specs: List[Tuple] = []
+    for pb in bufs:
+        raw = pb.raw()
+        try:
+            fmt = memoryview(pb).format or "B"
+        except BufferError:  # pragma: no cover - non-contiguous never raw()s
+            fmt = "B"
+        loc = arena.locate(raw) if arena is not None else None
+        if loc is not None:
+            specs.append((loc[0], loc[1], raw.nbytes, fmt))
+        else:
+            specs.append((raw.nbytes, fmt))
+            raws.append(raw)
+    meta = pickle.dumps((tag, nbytes, specs), protocol=4)
+    payload_len = sum(r.nbytes for r in raws)
+    crc = 0
+    flags = 0
+    if integrity:
+        crc = zlib.crc32(blob, zlib.crc32(meta))
+        for r in raws:
+            crc = zlib.crc32(r, crc)
+        flags = FLAG_CRC
+    header = _HEADER.pack(seq, crc, flags, len(meta), len(blob), payload_len)
+    return [memoryview(header), memoryview(meta), memoryview(blob)] + raws
+
+
+def _dtype_for(fmt: str, nbytes: int) -> np.dtype:
+    """Pool dtype for an out-of-band buffer; opaque formats fall back to
+    bytes so the buffer is still poolable (just under a byte key)."""
+    try:
+        dt = np.dtype(fmt)
+    except TypeError:
+        return np.dtype("u1")
+    if dt.itemsize == 0 or nbytes % dt.itemsize:
+        return np.dtype("u1")
+    return dt
+
+
+class FrameDecoder:
+    """Incremental frame reader for one inbound link.
+
+    Drives a :class:`ShmRing` through the header -> meta/blob -> payload
+    stages, keeping partial state between ``poll`` calls so a frame
+    larger than the ring (or arriving in pieces) is reassembled without
+    ever blocking the pump.  ``acquire(numel, dtype)`` supplies payload
+    destinations — wire bytes land straight in pool buffers.
+    """
+
+    def __init__(
+        self,
+        ring: ShmRing,
+        acquire: Callable[[int, np.dtype], np.ndarray],
+        arena: Optional[ShmArena] = None,
+    ):
+        self._ring = ring
+        self._acquire = acquire
+        self._arena = arena
+        self._hdr = memoryview(bytearray(_HEADER.size))
+        self._reset()
+
+    def _reset(self) -> None:
+        self._stage = 0  # 0 = header, 1 = meta+blob, 2 = payload
+        self._have = 0
+        self._seq = 0
+        self._crc: Optional[int] = None
+        self._acc = 0  # running CRC32 over post-header bytes
+        self._meta_len = 0
+        self._body: Optional[memoryview] = None
+        self._tag: Tuple = ()
+        self._nbytes = 0
+        self._dests: List[np.ndarray] = []
+        self._dest_views: List[memoryview] = []
+        self._di = 0
+
+    def poll(self) -> Optional[Frame]:
+        """Advance the stream; returns one :class:`Frame` when a whole
+        frame has landed, else ``None`` (partial state is kept)."""
+        while True:
+            if self._stage == 0:
+                self._have += self._ring.read_into(self._hdr[self._have :])
+                if self._have < len(self._hdr):
+                    return None
+                seq, crc, flags, meta_len, blob_len, _payload_len = _HEADER.unpack(
+                    self._hdr
+                )
+                self._seq = seq
+                self._crc = crc if flags & FLAG_CRC else None
+                self._meta_len = meta_len
+                self._body = memoryview(bytearray(meta_len + blob_len))
+                self._have = 0
+                self._stage = 1
+            if self._stage == 1:
+                body = self._body
+                if self._have < len(body):
+                    self._have += self._ring.read_into(body[self._have :])
+                    if self._have < len(body):
+                        return None
+                if self._crc is not None:
+                    self._acc = zlib.crc32(body)
+                self._tag, self._nbytes, specs = pickle.loads(
+                    body[: self._meta_len]
+                )
+                for spec in specs:
+                    if len(spec) == 4:  # arena descriptor: re-map, no read
+                        region, offset, buf_nbytes, fmt = spec
+                        if self._arena is None:
+                            raise RuntimeError(
+                                "arena descriptor received on a link "
+                                "decoded without an arena"
+                            )
+                        dt = _dtype_for(fmt, buf_nbytes)
+                        self._dests.append(
+                            self._arena.view(region, offset, buf_nbytes, dt)
+                        )
+                        continue
+                    buf_nbytes, fmt = spec
+                    dt = _dtype_for(fmt, buf_nbytes)
+                    arr = self._acquire(buf_nbytes // dt.itemsize, dt)
+                    self._dests.append(arr)
+                    self._dest_views.append(memoryview(arr).cast("B"))
+                self._have = 0
+                self._di = 0
+                self._stage = 2
+            # payload stage: fill each destination buffer in wire order,
+            # folding landed bytes into the running digest as they arrive.
+            while self._di < len(self._dest_views):
+                view = self._dest_views[self._di]
+                got = self._ring.read_into(view[self._have :])
+                if got and self._crc is not None:
+                    self._acc = zlib.crc32(
+                        view[self._have : self._have + got], self._acc
+                    )
+                self._have += got
+                if self._have < len(view):
+                    return None
+                self._have = 0
+                self._di += 1
+            payload = pickle.loads(
+                self._body[self._meta_len :],
+                buffers=[memoryview(a) for a in self._dests],
+            )
+            frame = Frame(
+                self._seq, self._crc,
+                self._acc if self._crc is not None else None,
+                self._tag, self._nbytes, payload,
+            )
+            self._reset()
+            return frame
+
+
+# -- shared fail-stop control state ------------------------------------------
+
+_MAGIC = 0x57E1FE08  # "WeiPipe", PR 8
+_ABORT_REASON_MAX = 254
+_RANK_REASON_MAX = 144
+_RANK_STRIDE = 176
+
+
+class ControlBlock:
+    """Abort/fail-stop state shared by every rank and the launcher.
+
+    Writers fill the reason/step fields *before* setting the one-byte
+    flag that publishes them, so a reader that sees the flag always
+    sees a complete record.  ``disturb_token()`` returns the abort byte
+    plus all fail flags as one small bytes object — the per-operation
+    hot-path check is a slice copy and an equality compare.
+    """
+
+    @staticmethod
+    def size(world: int) -> int:
+        reason_off = (16 + world + 7) & ~7
+        return reason_off + 2 + _ABORT_REASON_MAX + world * _RANK_STRIDE
+
+    def __init__(self, buf: memoryview, world: int, create: bool = False):
+        need = self.size(world)
+        if len(buf) < need:
+            raise ValueError("control slice too small")
+        self._mv = buf[:need]
+        self.world = world
+        self._flags_off = 16
+        self._reason_off = (16 + world + 7) & ~7
+        self._ranks_off = self._reason_off + 2 + _ABORT_REASON_MAX
+        if create:
+            self._mv[:] = b"\x00" * need
+            struct.pack_into("<II", self._mv, 0, _MAGIC, world)
+        else:
+            magic, w = struct.unpack_from("<II", self._mv, 0)
+            if magic != _MAGIC or w != world:
+                raise ValueError("control block header mismatch")
+
+    # -- abort ---------------------------------------------------------------
+
+    def abort(self, reason: str) -> None:
+        raw = reason.encode("utf-8", "replace")[:_ABORT_REASON_MAX]
+        struct.pack_into("<H", self._mv, self._reason_off, len(raw))
+        self._mv[self._reason_off + 2 : self._reason_off + 2 + len(raw)] = raw
+        self._mv[8] = 1
+
+    def aborted(self) -> Optional[str]:
+        if not self._mv[8]:
+            return None
+        (n,) = struct.unpack_from("<H", self._mv, self._reason_off)
+        return bytes(
+            self._mv[self._reason_off + 2 : self._reason_off + 2 + n]
+        ).decode("utf-8", "replace")
+
+    # -- fail-stop records ---------------------------------------------------
+
+    def _rank_off(self, rank: int) -> int:
+        return self._ranks_off + rank * _RANK_STRIDE
+
+    def fail(self, rank: int, reason: str, step: Optional[int]) -> None:
+        off = self._rank_off(rank)
+        raw = reason.encode("utf-8", "replace")[:_RANK_REASON_MAX]
+        struct.pack_into(
+            "<qBBH", self._mv, off,
+            step if step is not None else 0,
+            1 if step is not None else 0,
+            0,
+            len(raw),
+        )
+        self._mv[off + 32 : off + 32 + len(raw)] = raw
+        self._mv[self._flags_off + rank] = 1  # publish last
+
+    def is_failed(self, rank: int) -> bool:
+        return bool(self._mv[self._flags_off + rank])
+
+    def failed(self) -> Dict[int, Tuple[str, Optional[int]]]:
+        out: Dict[int, Tuple[str, Optional[int]]] = {}
+        for r in range(self.world):
+            if not self._mv[self._flags_off + r]:
+                continue
+            off = self._rank_off(r)
+            step, has_step, _res, n = struct.unpack_from("<qBBH", self._mv, off)
+            reason = bytes(self._mv[off + 32 : off + 32 + n]).decode(
+                "utf-8", "replace"
+            )
+            out[r] = (reason, step if has_step else None)
+        return out
+
+    def fail_count(self) -> int:
+        return sum(
+            1 for r in range(self.world) if self._mv[self._flags_off + r]
+        )
+
+    def disturb_token(self) -> bytes:
+        """Abort byte + fail flags, for the cached hot-path compare."""
+        return bytes(self._mv[8 : self._flags_off + self.world])
+
+    def release(self) -> None:
+        """Drop this block's view of the segment (the segment owner must
+        release every live slice before ``SharedMemory.close``)."""
+        self._mv.release()
+
+    # -- progress ------------------------------------------------------------
+
+    def set_progress(self, rank: int, step: int) -> None:
+        off = self._rank_off(rank)
+        struct.pack_into("<q", self._mv, off + 16, step)
+        self._mv[off + 24] = 1
+
+    def progress(self, rank: int) -> Optional[int]:
+        off = self._rank_off(rank)
+        if not self._mv[off + 24]:
+            return None
+        return struct.unpack_from("<q", self._mv, off + 16)[0]

@@ -1,0 +1,87 @@
+"""The in-process thread transport: the default and the oracle.
+
+Every rank is a daemon thread of this interpreter sharing one
+:class:`~repro.runtime.communicator.Fabric`, so payloads move by
+reference (zero copies), the full chaos wire / integrity / failure
+detector / rejoin machinery applies, and results are deterministic
+enough to serve as the bit-exactness oracle the process backend is
+differentially tested against.
+
+Threads trade wall-clock parallelism for semantics: compute serializes
+on the GIL, which is exactly what the shared-memory process transport
+(:mod:`repro.runtime.transport.process`) exists to remove.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional, Tuple
+
+from .base import Deadline, Transport, WorkerError, join_group
+
+__all__ = ["ThreadTransport"]
+
+
+class ThreadTransport(Transport):
+    """Run every rank as a thread of this process on one shared fabric."""
+
+    name = "thread"
+    supports_detector = True
+    supports_tracer = True
+    chaos = "full"
+
+    def __init__(self, fabric: Any = None):
+        #: the fabric all ranks share; built at launch when not supplied.
+        self.fabric = fabric
+
+    def launch(
+        self,
+        world_size: int,
+        fn: Callable[[Any], Any],
+        timeout: float,
+        elastic: bool,
+        detector: Any = None,
+    ) -> Tuple[List[Any], List[Optional[WorkerError]]]:
+        from ..communicator import Fabric
+
+        if self.fabric is not None:
+            fab = self.fabric
+            if detector is not None:
+                if fab.detector is not None and fab.detector is not detector:
+                    raise ValueError("fabric already has a different detector")
+                fab.detector = detector
+        else:
+            fab = self.fabric = Fabric(
+                world_size, timeout=timeout, detector=detector
+            )
+        if fab.world_size != world_size:
+            raise ValueError("fabric world_size does not match")
+
+        results: List[Any] = [None] * world_size
+        errors: List[Optional[WorkerError]] = [None] * world_size
+
+        def target(rank: int) -> None:
+            comm = fab.communicator(rank)
+            try:
+                results[rank] = fn(comm)
+            except BaseException as exc:  # noqa: BLE001 - must propagate everything
+                errors[rank] = WorkerError.capture(rank, exc)
+                if elastic:
+                    # fail-stop: only this rank dies; survivors are
+                    # notified at their next fabric op and may recover.
+                    fab.fail_rank(rank, f"raised {exc!r}")
+                else:
+                    fab.abort(f"rank {rank} raised {exc!r}")
+
+        threads = [
+            threading.Thread(target=target, args=(r,), name=f"worker-{r}", daemon=True)
+            for r in range(world_size)
+        ]
+        for t in threads:
+            t.start()
+        join_group(
+            threads,
+            Deadline(timeout),
+            on_timeout=lambda: fab.abort("join timeout"),
+        )
+        return results, errors

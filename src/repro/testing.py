@@ -35,6 +35,7 @@ __all__ = [
     "compare_train_results",
     "default_differential_spec",
     "run_differential",
+    "run_backend_differential",
     "CrashRecoveryReport",
     "default_crash_spec",
     "run_crash_recovery",
@@ -529,6 +530,116 @@ def run_differential(
     if raise_on_failure:
         report.raise_if_failed()
     return report
+
+
+# ---------------------------------------------------------------------------
+# backend differential harness: thread transport vs process transport
+# ---------------------------------------------------------------------------
+
+
+def run_backend_differential(
+    strategies: Optional[Mapping[str, int]] = None,
+    worlds: Iterable[int] = (2, 4),
+    precisions: Iterable[str] = ("fp64", "fp32"),
+    spec=None,
+    link_delay_s: float = 0.002,
+    chaos_seed: int = 1,
+    raise_on_failure: bool = False,
+    progress: Optional[Callable[[str, int, Optional[str]], None]] = None,
+) -> DifferentialReport:
+    """Train every strategy on both transports; demand **bitwise** equality.
+
+    A transport changes how frames move between ranks — shared references
+    under one interpreter vs shared-memory rings between processes —
+    never what is computed, so the loss curves and final weights must
+    match bit for bit, not merely to tolerance.  Each cell trains under a
+    seeded delay-only wire on the thread backend (:class:`ChaosFabric`)
+    and the process backend (:class:`~repro.runtime.ProcessTransport`)
+    with identical seeds and compares the two runs directly.
+
+    ``strategies`` maps name -> *maximum* world size (defaults to
+    :data:`DEFAULT_DIFFERENTIAL_STRATEGIES`); each strategy runs at every
+    world in ``worlds`` that does not exceed its maximum (TP caps at 2 on
+    the default model: world must divide ``n_heads``).  Failures are
+    reported per (strategy, world, precision) cell on a
+    :class:`DifferentialReport`, with the precision recorded in the cell
+    message and the chaos seed in the report's ``seeds``.
+    """
+    from dataclasses import replace as _replace
+
+    from .core.api import STRATEGIES
+    from .nn.precision import FP32, FP64
+    from .runtime import ChaosFabric, ChaosPolicy, ProcessTransport
+
+    if strategies is None:
+        strategies = DEFAULT_DIFFERENTIAL_STRATEGIES
+    if spec is None:
+        spec = default_differential_spec()
+    policy = ChaosPolicy(
+        seed=chaos_seed, delay_prob=1.0, max_delay=link_delay_s,
+        drop_prob=0.0, duplicate_prob=0.0,
+    )
+    prec_map = {"fp64": FP64, "fp32": FP32}
+    worlds = list(worlds)
+    precisions = list(precisions)
+
+    report = DifferentialReport(
+        strategies=dict(strategies), seeds=[chaos_seed]
+    )
+    for name, max_world in strategies.items():
+        if name not in STRATEGIES:
+            raise ValueError(f"unknown strategy {name!r}")
+        runner = STRATEGIES[name]
+        for world in worlds:
+            if world > max_world:
+                continue
+            for prec in precisions:
+                cell_spec = _replace(spec, precision=prec_map[prec])
+                report.runs += 1
+                failure: Optional[str] = None
+                try:
+                    thread = runner(
+                        cell_spec, world,
+                        ChaosFabric(world, policy=policy, timeout=120.0),
+                    )
+                    proc = runner(
+                        cell_spec, world, ProcessTransport(policy=policy)
+                    )
+                    failure = _diff_bitwise(thread, proc)
+                except Exception as exc:  # noqa: BLE001 - report, don't abort
+                    first = (str(exc).splitlines() or [""])[0]
+                    failure = f"{type(exc).__name__}: {first}"
+                if failure is not None:
+                    report.failures.append(DifferentialFailure(
+                        name, world, chaos_seed, f"[{prec}] {failure}"
+                    ))
+                if progress is not None:
+                    progress(f"{name}/P{world}/{prec}", chaos_seed, failure)
+    if raise_on_failure:
+        report.raise_if_failed()
+    return report
+
+
+def _diff_bitwise(thread, proc) -> Optional[str]:
+    """Bitwise comparison of two TrainResults (backend differential)."""
+    if list(thread.losses) != list(proc.losses):
+        diffs = [
+            i for i, (a, b) in enumerate(zip(thread.losses, proc.losses))
+            if a != b
+        ]
+        return f"loss curves differ bitwise at iters {diffs}"
+    if len(thread.chunks) != len(proc.chunks):
+        return (
+            f"{len(proc.chunks)} weight chunks vs thread "
+            f"{len(thread.chunks)}"
+        )
+    for i, (a, b) in enumerate(zip(thread.chunks, proc.chunks)):
+        if set(a.keys()) != set(b.keys()):
+            return f"chunk {i} parameter names differ"
+        for key in a.keys():
+            if not np.array_equal(np.asarray(a[key]), np.asarray(b[key])):
+                return f"final weights differ bitwise: chunk {i} param {key!r}"
+    return None
 
 
 # ---------------------------------------------------------------------------

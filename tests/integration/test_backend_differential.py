@@ -1,0 +1,85 @@
+"""Backend differential: every strategy, thread vs process, bit for bit.
+
+A transport changes how frames move between ranks, never what is
+computed — so the process backend must reproduce the thread backend's
+loss curves and final weights *exactly*, across every strategy, world
+size and precision (satellite gate for the pluggable transport layer;
+see DESIGN.md §14).  The companion pool test is the per-backend
+zero-steady-state-allocation gate: after warmup neither backend's
+BufferPool may keep allocating.
+"""
+
+import numpy as np
+
+from repro.experiments.overlap import run_backend_comparison
+from repro.testing import (
+    DEFAULT_DIFFERENTIAL_STRATEGIES,
+    run_backend_differential,
+)
+
+
+def test_backend_differential_all_strategies_bitwise():
+    report = run_backend_differential()
+    # every strategy x each world <= its cap x fp64/fp32: 8 strategies,
+    # TP capped at P=2 on the default 2-head model -> 30 cells.
+    expected = sum(
+        len([w for w in (2, 4) if w <= cap]) * 2
+        for cap in DEFAULT_DIFFERENTIAL_STRATEGIES.values()
+    )
+    assert report.runs == expected
+    assert report.ok, report.summary()
+
+
+def test_backend_differential_reports_divergence():
+    # harness self-test: a strategy whose process run cannot match the
+    # thread run must land in failures, not pass silently.  Different
+    # data seeds guarantee different losses.
+    from repro.testing import default_differential_spec
+
+    spec = default_differential_spec()
+
+    def lying_runner(cell_spec, world, fabric):
+        from repro.core.api import STRATEGIES
+        from repro.runtime.transport import ProcessTransport
+
+        if isinstance(fabric, ProcessTransport):
+            from dataclasses import replace
+
+            cell_spec = replace(cell_spec, data_seed=cell_spec.data_seed + 1)
+        return STRATEGIES["1f1b"](cell_spec, world, fabric)
+
+    import repro.core.api as api
+
+    api.STRATEGIES["_lying"] = lying_runner
+    try:
+        report = run_backend_differential(
+            strategies={"_lying": 2}, worlds=(2,), precisions=("fp64",)
+        )
+    finally:
+        del api.STRATEGIES["_lying"]
+    assert not report.ok
+    assert "bitwise" in report.failures[0].message
+
+
+def test_backend_pools_reach_steady_state():
+    # small, zero-delay configuration: the gate is about allocation
+    # behaviour, not throughput, so no wire latency is injected.
+    section = run_backend_comparison(
+        hidden=16, n_layers=4, seq_len=8, vocab=16, world=4,
+        n_microbatches=8, microbatch_size=1, iters=6,
+        link_delay_s=0.0, reps=1,
+    )
+    assert section["losses_equal"]
+    assert section["bytes_equal"]
+    # process backend recycles arena spans exactly: zero allocations per
+    # iteration once warm.  the thread pool may demand a few stragglers
+    # while ranks interleave (see tests/integration/test_overlap.py).
+    assert section["process"]["steady_state_allocs_per_iter"] == 0
+    for name in ("thread", "process"):
+        allocs = section[name]["pool_allocs_by_iter"]
+        assert allocs[-1] - allocs[0] <= 4, (name, allocs)
+        pool = section[name]["pool"]
+        assert pool["backend"] == name
+        assert pool["hits"] > 0
+    # the process pool draws its buffers from the shared arena.
+    assert section["process"]["pool"].get("arena_used", 0) > 0

@@ -41,6 +41,27 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "iter    1" in out
 
+    def test_train_process_backend(self, capsys):
+        rc = main([
+            "train", "--iters", "2", "--world", "2", "--hidden", "16",
+            "--layers", "2", "--heads", "2", "--seq", "8", "--vocab", "17",
+            "--microbatches", "4", "--backend", "process",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "iter    1" in out
+
+    def test_train_process_backend_rejects_tracing(self, tmp_path):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main([
+                "train", "--iters", "1", "--world", "2", "--hidden", "16",
+                "--layers", "2", "--heads", "2", "--seq", "8", "--vocab",
+                "17", "--microbatches", "4", "--backend", "process",
+                "--trace", str(tmp_path / "t.json"),
+            ])
+
     def test_train_markov_with_clip(self, capsys):
         rc = main([
             "train", "--iters", "2", "--world", "2", "--hidden", "16",
@@ -243,7 +264,9 @@ class TestBenchOverlapCLI:
         ])
         assert rc == 0
         report = json.loads(out.read_text())
-        assert report["schema"] == "repro.bench_overlap/v1"
+        assert report["schema"] == "repro.bench_overlap/v2"
+        # no --backend process: the per-backend section is not included.
+        assert "backends" not in report
         assert report["losses_equal"] is True
         assert report["bytes_equal"] is True
         assert report["overlap"]["steady_state_allocs_per_iter"] == 0
