@@ -3,58 +3,83 @@
 The paper's motivating scenario: you must train a multi-billion
 parameter model with a long context on whatever cluster you have, and
 the right parallelism strategy depends on where the communication
-bottleneck sits.  This example sweeps the strategy zoo through the
-performance simulator for a user-editable workload on three cluster
-types and prints a recommendation.
+bottleneck sits.  This example drives the real planner (``repro.plan``,
+the engine behind ``python -m repro plan``): it enumerates the full
+strategy × degree × microbatch × overlap × grouping space for one
+workload on three cluster types, prunes on the analytic memory model,
+ranks by predicted tokens/s, and — for the slow-wire cluster, where the
+answer is interesting — validates the top pick with a live traced run
+gated by the cost-model reconciliation.
 
     python examples/long_context_planner.py
 """
 
-from repro.experiments.configs import exec_for
-from repro.sim import (
-    WorkloadDims,
-    nvlink_cluster,
-    pcie_ethernet_cluster,
-    run_cell,
+from repro.plan import (
+    ClusterSpec,
+    ModelSpec,
+    PlanSpec,
+    SearchSpace,
+    build_report,
+    format_report,
+    search,
+    validate_candidate,
 )
 
 # ---- edit your job here -----------------------------------------------------
-WORKLOAD = WorkloadDims(
-    hidden=4096,       # ~6B parameters at 32 layers: a single-GPU replica
-    n_layers=32,       # of the optimizer states would blow past 80 GB,
-    seq_len=16384,     # so plain DP is off the table and parallelism
-    microbatch=4,      # strategy genuinely matters (try hidden=2048 to
-    n_microbatches=128,  # see DP win when the model *does* fit!)
+MODEL = ModelSpec(
+    hidden=4096,     # ~3B parameters at 16 layers; at a 128K context the
+    n_layers=16,     # activations, not the weights, dominate both memory
+    seq_len=131072,  # and wire traffic -- the regime the paper targets
+    n_heads=32,
+    global_batch_sequences=128,  # sequences/iteration, equal for every config
 )
 WORLD = 16
+BUDGET = 60 * 2**30  # per-GPU budget the pruner enforces
 # -----------------------------------------------------------------------------
 
 CLUSTERS = {
-    "NVLink servers + fast inter-server": nvlink_cluster(WORLD, gpus_per_node=8),
-    "PCIe servers + 10GbE": pcie_ethernet_cluster(WORLD, gpus_per_node=4),
-    "single big NVLink box": nvlink_cluster(WORLD, gpus_per_node=WORLD),
+    "NVLink servers + fast inter-server": ClusterSpec(
+        preset="nvlink", world=WORLD, gpus_per_node=8,
+        memory_budget_bytes=BUDGET,
+    ),
+    "PCIe servers + 10GbE": ClusterSpec(
+        preset="pcie-eth", world=WORLD, gpus_per_node=4,
+        memory_budget_bytes=BUDGET,
+    ),
+    "4 nodes on a ~1Gb/s wire": ClusterSpec(
+        preset="custom", world=WORLD, gpus_per_node=4,
+        inter_bandwidth=1e8, memory_budget_bytes=BUDGET,
+    ),
 }
 
-STRATEGIES = ["1f1b", "zb1", "fsdp", "dp", "tp", "sp", "weipipe-naive", "weipipe-interleave"]
+SPACE = SearchSpace(microbatch_sizes=(1, 2))
 
 
 def main() -> None:
-    print(f"workload: H={WORKLOAD.hidden} L={WORKLOAD.n_layers} "
-          f"S={WORKLOAD.seq_len} G={WORKLOAD.microbatch} on {WORLD} GPUs")
-    print(f"model body: {WORKLOAD.layer_params * WORKLOAD.n_layers / 1e9:.2f}B params\n")
+    print(f"model: H={MODEL.hidden} L={MODEL.n_layers} S={MODEL.seq_len} "
+          f"({MODEL.hidden ** 2 * 12 * MODEL.n_layers / 1e9:.1f}B params) "
+          f"on {WORLD} GPUs, {BUDGET / 2**30:.0f} GiB budget\n")
 
-    for cluster_name, cluster in CLUSTERS.items():
-        print(f"=== {cluster_name} ===")
-        rows = []
-        for strat in STRATEGIES:
-            rep = run_cell(strat, WORKLOAD, cluster, exec_for(strat))
-            rows.append((strat, rep))
-            status = "OOM" if rep.oom else f"{rep.tokens_per_second_per_gpu:8.1f} tok/s/GPU"
-            print(f"  {strat:>20}: {status:>22}  "
-                  f"mem {rep.peak_memory_gb:5.1f} GB  bubble {rep.bubble_ratio:.2f}")
-        viable = [(s, r) for s, r in rows if not r.oom]
-        best = max(viable, key=lambda x: x[1].tokens_per_second_per_gpu)
-        print(f"  -> recommended: {best[0]}\n")
+    for name, cluster in CLUSTERS.items():
+        spec = PlanSpec(model=MODEL, cluster=cluster, space=SPACE)
+        result = search(spec)
+        print(f"=== {name} ===")
+        print(format_report(build_report(spec, result), top=5))
+        print()
+
+    # the interesting cluster: a slow inter-node wire is where the weight
+    # ring earns its keep.  Close the loop on its winner for real.
+    spec = PlanSpec(model=MODEL, cluster=CLUSTERS["4 nodes on a ~1Gb/s wire"],
+                    space=SPACE)
+    result = search(spec)
+    top = result.feasible[0]
+    print(f"validating top pick ({top.candidate.strategy}) live ...")
+    verdict = validate_candidate(top, spec)
+    wall = verdict["reconcile"]["iteration_wall"]
+    print(f"  gate={verdict['gate']} passed={verdict['passed']} "
+          f"(predicted {wall['predicted_s'] * 1e3:.1f} ms, "
+          f"measured {wall['measured_s'] * 1e3:.1f} ms, "
+          f"tol {wall['tolerance_factor']:.0f}x)")
 
 
 if __name__ == "__main__":

@@ -11,6 +11,12 @@ Commands:
 * ``table`` — regenerate paper Table 2, 3 or 4;
 * ``figure`` — regenerate paper Figure 6, 7, 8 or 9;
 * ``timeline`` — render a schedule as an ASCII Gantt chart;
+* ``plan`` — auto-parallelism planner: enumerate the strategy × degree
+  × microbatch × precision × overlap × grouping × backend space for a
+  model/cluster spec, prune on the analytic memory model, rank by
+  predicted tokens/s, then run the top pick live and gate
+  predicted-vs-measured wall clock through ``reconcile()``
+  (the ``repro.plan/v1`` report records the verdict);
 * ``trace`` — run a small traced training job and write a Chrome
   trace-event JSON (Perfetto / ``chrome://tracing``), printing the
   analyzer's measured bubble ratio, overlap fraction, per-turn chunk
@@ -48,6 +54,7 @@ the checkpoint, weights-only otherwise.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -414,6 +421,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="path of the JSON artefact",
     )
     _add_obs_flags(p_bt)
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="rank parallelism configs for a model/cluster spec and "
+             "validate the top pick with a live reconciled run",
+    )
+    p_plan.add_argument(
+        "--spec", default=None, metavar="PATH",
+        help="planner spec JSON (model/cluster/space/validation "
+             "sections); flags below override nothing when given",
+    )
+    p_plan.add_argument("--hidden", type=int, default=None)
+    p_plan.add_argument("--layers", type=int, default=None)
+    p_plan.add_argument("--seq-len", type=int, default=None)
+    p_plan.add_argument("--heads", type=int, default=None)
+    p_plan.add_argument("--vocab", type=int, default=None)
+    p_plan.add_argument(
+        "--global-batch", type=int, default=None,
+        help="sequences per iteration, constant across candidates",
+    )
+    p_plan.add_argument(
+        "--preset", choices=["nvlink", "pcie-eth", "single-node", "custom"],
+        default=None,
+    )
+    p_plan.add_argument("--world", type=int, default=None)
+    p_plan.add_argument("--gpus-per-node", type=int, default=None)
+    p_plan.add_argument(
+        "--memory-budget-gib", type=float, default=None,
+        help="per-worker budget the pruner enforces (default: GPU HBM)",
+    )
+    p_plan.add_argument(
+        "--strategies", default=None,
+        help="comma-separated subset of the strategy zoo to search",
+    )
+    p_plan.add_argument(
+        "--microbatches", default=None,
+        help="comma-separated microbatch sizes to sweep",
+    )
+    p_plan.add_argument(
+        "--top", type=int, default=10,
+        help="how many ranked candidates to print",
+    )
+    p_plan.add_argument(
+        "--no-validate", action="store_true",
+        help="skip the live run of the top pick (report ranks only)",
+    )
+    p_plan.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the repro.plan/v1 report JSON here",
+    )
 
     p_tl = sub.add_parser("timeline", help="render a schedule timeline")
     p_tl.add_argument(
@@ -1131,6 +1188,82 @@ def _cmd_timeline(args) -> int:
     return 0
 
 
+def _cmd_plan(args) -> int:
+    from .plan import (
+        PlanSpecError,
+        build_report,
+        format_report,
+        load_spec,
+        search,
+        validate_candidate,
+        validate_plan_report,
+    )
+    from .plan.spec import ClusterSpec, ModelSpec, PlanSpec, SearchSpace
+
+    try:
+        if args.spec is not None:
+            spec = load_spec(args.spec)
+        else:
+            model_kw = {
+                k: v for k, v in {
+                    "hidden": args.hidden, "n_layers": args.layers,
+                    "seq_len": args.seq_len, "n_heads": args.heads,
+                    "vocab": args.vocab,
+                    "global_batch_sequences": args.global_batch,
+                }.items() if v is not None
+            }
+            cluster_kw = {
+                k: v for k, v in {
+                    "preset": args.preset, "world": args.world,
+                    "gpus_per_node": args.gpus_per_node,
+                    "memory_budget_bytes": (
+                        args.memory_budget_gib * 2**30
+                        if args.memory_budget_gib is not None else None
+                    ),
+                }.items() if v is not None
+            }
+            space_kw = {}
+            if args.strategies is not None:
+                space_kw["strategies"] = tuple(
+                    s.strip() for s in args.strategies.split(",") if s.strip()
+                )
+            if args.microbatches is not None:
+                space_kw["microbatch_sizes"] = tuple(
+                    int(g) for g in args.microbatches.split(",")
+                )
+            spec = PlanSpec(
+                model=ModelSpec(**model_kw),
+                cluster=ClusterSpec(**cluster_kw),
+                space=SearchSpace(**space_kw),
+            )
+        result = search(spec)
+    except (PlanSpecError, ValueError) as e:
+        print(f"plan: {e}", file=sys.stderr)
+        return 2
+    verdict = None
+    if result.feasible and not args.no_validate:
+        verdict = validate_candidate(result.feasible[0], spec)
+    report = build_report(spec, result, validation=verdict)
+    problems = validate_plan_report(report)
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=1)
+        print(f"wrote {args.out}")
+    print(format_report(report, top=args.top))
+    if problems:
+        print("\nreport schema problems:", file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        return 1
+    if not result.feasible:
+        print("\nno feasible configuration fits the memory budget",
+              file=sys.stderr)
+        return 1
+    if verdict is not None and not verdict["passed"]:
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -1141,6 +1274,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "table": lambda: _cmd_table(args),
         "figure": lambda: _cmd_figure(args),
         "timeline": lambda: _cmd_timeline(args),
+        "plan": lambda: _cmd_plan(args),
         "chaos-sweep": lambda: _cmd_chaos_sweep(args),
         "crash-recovery": lambda: _cmd_crash_recovery(args),
         "self-heal": lambda: _cmd_self_heal(args),

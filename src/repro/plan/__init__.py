@@ -1,0 +1,61 @@
+"""Auto-parallelism planner: ``python -m repro plan``.
+
+Given a model / context / cluster spec, enumerate the parallelism
+config space, prune on the analytic memory model, rank by predicted
+tokens/s from the calibrated cost model, and validate the top pick with
+a live traced run gated by ``repro.obs.analyze.reconcile`` — the
+predict-then-validate loop of DESIGN.md §15.
+"""
+
+from .predict import predict_iteration_s, predict_tokens_per_s_per_gpu
+from .report import (
+    PLAN_SCHEMA,
+    build_report,
+    format_report,
+    validate_plan_report,
+)
+from .search import (
+    Candidate,
+    Evaluated,
+    SearchResult,
+    enumerate_candidates,
+    evaluate_candidate,
+    search,
+)
+from .spec import (
+    DEFAULT_STRATEGIES,
+    ClusterSpec,
+    ModelSpec,
+    PlanSpec,
+    PlanSpecError,
+    SearchSpace,
+    ValidationSpec,
+    load_spec,
+)
+from .validate import FUNCTIONAL_STRATEGY, RECONCILE_GATED, validate_candidate
+
+__all__ = [
+    "PLAN_SCHEMA",
+    "DEFAULT_STRATEGIES",
+    "FUNCTIONAL_STRATEGY",
+    "RECONCILE_GATED",
+    "Candidate",
+    "ClusterSpec",
+    "Evaluated",
+    "ModelSpec",
+    "PlanSpec",
+    "PlanSpecError",
+    "SearchSpace",
+    "SearchResult",
+    "ValidationSpec",
+    "build_report",
+    "enumerate_candidates",
+    "evaluate_candidate",
+    "format_report",
+    "load_spec",
+    "predict_iteration_s",
+    "predict_tokens_per_s_per_gpu",
+    "search",
+    "validate_candidate",
+    "validate_plan_report",
+]

@@ -1,0 +1,165 @@
+"""Predict-then-validate: run the plan's top pick for real and gate it.
+
+The planner's ranking is analytic; this module closes the loop by
+executing the winning candidate on the functional runtime with tracing
+on and gating predicted-vs-measured wall clock through PR-4's
+``repro.obs.analyze.reconcile`` tolerances (``WALL_TOL`` /
+``RATIO_TOL``, DESIGN.md §11).
+
+The functional runtime is threaded NumPy, so the validation run keeps
+the pick's *shape* — strategy, schedule, ring/pipeline structure, and
+(clamped) parallel degree — at the scaled-down dims of the spec's
+``validation`` section.  The gate is structural, exactly like the trace
+smoke gates: the cost model is re-calibrated on the run's own forward
+spans, so a pass means "the schedule the planner priced is the schedule
+that actually executed", not "a laptop reproduces A800 seconds".
+
+Strategies the tracer does not instrument with forward spans (pure
+dp/fsdp/tp/sp) fall back to a run-only smoke gate: the run must finish
+with finite losses.  The verdict records which gate applied.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from .search import Evaluated
+
+__all__ = ["FUNCTIONAL_STRATEGY", "RECONCILE_GATED", "validate_candidate"]
+
+#: sim/search strategy name -> functional runtime strategy name.
+FUNCTIONAL_STRATEGY = {
+    "gpipe": "gpipe",
+    "1f1b": "1f1b",
+    "zb1": "zb1",
+    "zb2": "zb2",
+    "fsdp": "fsdp",
+    "dp": "dp",
+    "tp": "tp",
+    "sp": "sp",
+    "weipipe-naive": "weipipe-naive",
+    "weipipe-interleave": "weipipe-interleave",
+    "weipipe-wzb1": "weipipe-zb",
+    "weipipe-wzb2": "weipipe-zb",
+    "weipipe-hier": "weipipe-hier",
+}
+
+#: functional strategies whose traces carry F spans (PR-4 instrumented
+#: the pipeline schedules and every WeiPipe turn engine) — these get the
+#: full reconcile gate.
+RECONCILE_GATED = frozenset((
+    "gpipe", "1f1b", "zb1", "zb2",
+    "weipipe-naive", "weipipe-zb", "weipipe-interleave", "weipipe-hier",
+))
+
+
+def _validation_world(ev: Evaluated, cap: int) -> int:
+    """The run's worker count: the pick's inner degree (its replicas are
+    bit-equal copies), clamped to the cap; pure DP validates its
+    replica fan-out instead."""
+    degree = ev.candidate.degree if ev.candidate.degree > 1 else ev.candidate.dp
+    return max(1, min(degree, cap))
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return ((value + multiple - 1) // multiple) * multiple
+
+
+def validate_candidate(ev: Evaluated, spec) -> Dict:
+    """Run ``ev`` live at the spec's validation dims; return the verdict.
+
+    The verdict dict lands in the report's ``validation`` section:
+    ``ran``/``strategy``/``world``/``dims``/``gate``/``passed`` plus the
+    full ``reconcile`` output when the reconcile gate applied.
+    """
+    from .. import FP64, ModelConfig, TrainSpec, train
+    from ..obs import analyze_trace, reconcile, validate_chrome_trace
+
+    v = spec.validation
+    functional = FUNCTIONAL_STRATEGY[ev.candidate.strategy]
+    world = _validation_world(ev, v.world_cap)
+    if functional == "serial":  # pragma: no cover - defensive
+        world = 1
+
+    # keep the runtime's divisibility contracts at toy scale: layers and
+    # microbatch count tile the (clamped) world.
+    n_layers = _round_up(max(v.n_layers, world), world)
+    n_mb = _round_up(max(v.n_microbatches, world), world)
+    hidden = _round_up(v.hidden, world) if functional == "tp" else v.hidden
+    seq = _round_up(v.seq_len, world) if functional == "sp" else v.seq_len
+
+    cfg = ModelConfig(
+        hidden=hidden, n_layers=n_layers, n_heads=v.n_heads,
+        seq_len=seq, vocab=v.vocab,
+    )
+    train_spec = TrainSpec(
+        cfg=cfg, n_microbatches=n_mb, microbatch_size=v.microbatch_size,
+        iters=v.iters, seed=v.seed, precision=FP64,
+    )
+    dims_meta = {
+        "hidden": cfg.hidden, "n_layers": cfg.n_layers,
+        "seq_len": cfg.seq_len, "microbatch": v.microbatch_size,
+        "n_microbatches": n_mb, "n_heads": cfg.n_heads, "vocab": cfg.vocab,
+    }
+    verdict: Dict = {
+        "ran": True,
+        "strategy": functional,
+        "planned": ev.candidate.as_dict(),
+        "world": world,
+        "dims": dims_meta,
+        "iters": v.iters,
+    }
+
+    gate_reconcile = functional in RECONCILE_GATED and world > 1
+    fabric, tracer = _build_fabric(functional, world, gate_reconcile, {
+        "strategy": functional, "world": world, "recompute": False,
+        "overlap": True, "iters": v.iters, "dims": dims_meta,
+    })
+    result = train(train_spec, functional, world, fabric=fabric)
+    losses_finite = all(math.isfinite(l) for l in result.losses)
+    verdict["losses"] = [float(l) for l in result.losses]
+
+    if not gate_reconcile:
+        verdict["gate"] = "smoke"
+        verdict["passed"] = bool(losses_finite and result.losses)
+        verdict["reconcile"] = None
+        return verdict
+
+    doc = tracer.chrome_trace()
+    problems = validate_chrome_trace(doc)
+    analysis = analyze_trace(doc)
+    rec = reconcile(doc, analysis)
+    wall_ok = rec["iteration_wall"]["within_tolerance"]
+    bf = rec.get("b_over_f")
+    bf_ok = bf is None or bf["within_tolerance"]
+    verdict["gate"] = "reconcile"
+    verdict["trace_schema_ok"] = not problems
+    verdict["measured"] = {
+        "bubble_ratio_mean": analysis["summary"]["bubble_ratio_mean"],
+        "wall_s_max": analysis["summary"]["wall_s_max"],
+    }
+    verdict["reconcile"] = rec
+    verdict["passed"] = bool(
+        losses_finite and not problems and wall_ok and bf_ok
+    )
+    return verdict
+
+
+def _build_fabric(functional: str, world: int, traced: bool, metadata: Dict):
+    """A traced fabric for the validation run (topology-carrying for the
+    hierarchical ring so its gateway path actually executes)."""
+    if not traced:
+        return None, None
+    from ..obs import Tracer
+    from ..runtime import Fabric
+
+    topo = None
+    if functional == "weipipe-hier" and world >= 4 and world % 2 == 0:
+        from ..runtime import Topology
+
+        topo = Topology.grid(world, f"2x{world // 2}")
+        metadata = dict(metadata)
+        metadata["topology"] = topo.as_dict()
+    tracer = Tracer(metadata=metadata)
+    return Fabric(world, tracer=tracer, topology=topo), tracer

@@ -45,7 +45,7 @@ from typing import Optional
 
 from .hardware import GPU
 
-__all__ = ["WorkloadDims", "ExecConfig", "CostModel"]
+__all__ = ["WorkloadDims", "ExecConfig", "CostModel", "PRECISION_WIDTHS"]
 
 
 # -- calibration constants (see module docstring and EXPERIMENTS.md) ----------
@@ -106,6 +106,21 @@ class WorkloadDims:
         return replace(self, **kw)
 
 
+#: per-precision storage/wire widths for :meth:`ExecConfig.for_precision`.
+#: fp16 trains with an fp32 master + Adam moments (12 B/param of
+#: optimizer state); fp32 needs no separate master, only the moments.
+PRECISION_WIDTHS = {
+    "fp16": dict(
+        act_bytes=2, bgrad_bytes=2, weight_bytes=2, wgrad_bytes=2,
+        optimizer_bytes_per_param=12,
+    ),
+    "fp32": dict(
+        act_bytes=4, bgrad_bytes=4, weight_bytes=4, wgrad_bytes=4,
+        optimizer_bytes_per_param=8,
+    ),
+}
+
+
 @dataclass(frozen=True)
 class ExecConfig:
     """Execution knobs shared by all strategies (paper Section 5)."""
@@ -118,6 +133,28 @@ class ExecConfig:
     recompute: bool = True
     flash_attention: bool = True
     overlap: bool = True  # comm/compute overlap (batch_isend_irecv)
+
+    @classmethod
+    def for_precision(
+        cls,
+        precision: str,
+        recompute: bool = True,
+        overlap: bool = True,
+        flash_attention: bool = True,
+    ) -> "ExecConfig":
+        """The exec config of a named training precision — the per-config
+        query the auto-parallelism planner enumerates over."""
+        try:
+            widths = PRECISION_WIDTHS[precision]
+        except KeyError:
+            raise ValueError(
+                f"unknown precision {precision!r}; choose from "
+                f"{sorted(PRECISION_WIDTHS)}"
+            ) from None
+        return cls(
+            recompute=recompute, overlap=overlap,
+            flash_attention=flash_attention, **widths,
+        )
 
 
 class CostModel:

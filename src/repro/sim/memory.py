@@ -35,7 +35,12 @@ from typing import List
 from .costmodel import CostModel, ExecConfig, WorkloadDims
 from .hardware import Cluster
 
-__all__ = ["peak_memory_per_worker", "peak_memory", "MEMORY_MODELS"]
+__all__ = [
+    "peak_memory_per_worker",
+    "peak_memory",
+    "fits_memory",
+    "MEMORY_MODELS",
+]
 
 
 def _act_per_layer(cost: CostModel) -> float:
@@ -234,6 +239,18 @@ def _mem_weipipe_zb(dims, cluster, cost, variant: str) -> List[float]:
     return [m] * world
 
 
+def _mem_weipipe_hier(dims, cluster, cost) -> List[float]:
+    """Hierarchical (two-level) ring: the flat interleave liveness plus
+    the gateway weight caches that resolve 24-byte references back into
+    full slots.  A gateway pins one cached copy per weight flow (2) of a
+    slot's layers; non-gateway ranks carry nothing extra, but the *peak*
+    worker is a gateway, which is what decides OOM."""
+    base = _mem_weipipe(dims, cluster, cost, "interleave")
+    lps = dims.n_layers // cluster.world_size
+    gateway_cache = 2 * dims.layer_params * lps * cost.cfg.weight_bytes
+    return [m + gateway_cache for m in base]
+
+
 MEMORY_MODELS = {
     "gpipe": lambda d, c, m: _mem_gpipe(d, c, m),
     "1f1b": lambda d, c, m: _mem_1f1b(d, c, m),
@@ -245,6 +262,7 @@ MEMORY_MODELS = {
     "sp": lambda d, c, m: _mem_sp(d, c, m),
     "weipipe-naive": lambda d, c, m: _mem_weipipe(d, c, m, "naive"),
     "weipipe-interleave": lambda d, c, m: _mem_weipipe(d, c, m, "interleave"),
+    "weipipe-hier": lambda d, c, m: _mem_weipipe_hier(d, c, m),
     "weipipe-wzb1": lambda d, c, m: _mem_weipipe_zb(d, c, m, "wzb1"),
     "weipipe-wzb2": lambda d, c, m: _mem_weipipe_zb(d, c, m, "wzb2"),
 }
@@ -273,3 +291,23 @@ def peak_memory(
 ) -> float:
     """Worst worker's peak bytes (what decides OOM)."""
     return max(peak_memory_per_worker(strategy, dims, cluster, exec_cfg))
+
+
+def fits_memory(
+    strategy: str,
+    dims: WorkloadDims,
+    cluster: Cluster,
+    exec_cfg: ExecConfig = ExecConfig(),
+    budget_bytes: float = None,
+) -> bool:
+    """Does ``strategy`` fit a per-worker memory budget?
+
+    This is the planner's pruning predicate and it is *exact at the
+    boundary*: a config whose predicted peak equals the budget survives,
+    one byte over is rejected (``peak <= budget``).  ``budget_bytes``
+    defaults to the cluster GPU's HBM — the same OOM line the table
+    benches draw.
+    """
+    if budget_bytes is None:
+        budget_bytes = cluster.gpu.memory
+    return peak_memory(strategy, dims, cluster, exec_cfg) <= budget_bytes
