@@ -20,7 +20,11 @@ Commands:
 * ``trace`` — run a small traced training job and write a Chrome
   trace-event JSON (Perfetto / ``chrome://tracing``), printing the
   analyzer's measured bubble ratio, overlap fraction, per-turn chunk
-  accounting and cost-model reconciliation;
+  accounting and cost-model reconciliation; ``--backend process`` runs
+  the same pipeline across real processes (per-rank spill buffers are
+  merged onto one clock through the launch-time alignment handshake);
+* ``postmortem`` — render the flight-recorder bundle a failed launch
+  left behind (reason, per-rank event rings, merged causal timeline);
 * ``chaos-sweep`` — differential equivalence sweep: every strategy vs
   serial on a seeded chaos fabric; a failing seed is reported and
   ``--seed-start S --seeds 1`` replays exactly that adversary;
@@ -38,11 +42,14 @@ Commands:
   ``chaos-sweep --faults bitflip,flap,stall`` adds the same transient
   faults to the classic serial-equivalence sweep.
 
-``train``, ``bench-overlap`` and ``chaos-sweep`` accept ``--trace PATH``
-(write a Chrome trace of the run) and ``--metrics-out PATH`` (dump the
-run's :class:`~repro.obs.MetricsRegistry` as JSON).  Tracing is opt-in;
+``train``, ``bench-overlap``, ``bench-topology``, ``chaos-sweep``,
+``self-heal`` and ``crash-recovery`` accept ``--trace PATH`` (write a
+Chrome trace of the run) and ``--metrics-out PATH`` (dump the run's
+:class:`~repro.obs.MetricsRegistry` as JSON).  Tracing is opt-in;
 without the flags the observability layer stays in its null, zero-cost
-configuration.
+configuration.  On ``--backend process`` both artefacts are merged
+across the worker processes (one trace pid per rank, label-aware
+metric reduction).
 
 ``train`` additionally supports durable fault-tolerant runs:
 ``--checkpoint-every N`` writes atomic, checksummed checkpoints from the
@@ -142,6 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--microbatch-size", type=int, default=2)
     p_trace.add_argument("--seed", type=int, default=0)
     p_trace.add_argument("--recompute", action="store_true")
+    _add_backend_flag(p_trace)
     p_trace.add_argument(
         "--out", default="trace.json", help="Chrome trace output path"
     )
@@ -284,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--skip-rejoin", action="store_true",
         help="run only the differential and the quiet-wire control",
     )
+    _add_obs_flags(p_sh)
 
     p_cr = sub.add_parser(
         "crash-recovery",
@@ -311,6 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the differential check against a clean shrunken run",
     )
     p_cr.add_argument("--iters", type=int, default=None)
+    _add_obs_flags(p_cr)
 
     p_bo = sub.add_parser(
         "bench-overlap",
@@ -472,6 +482,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the repro.plan/v1 report JSON here",
     )
 
+    p_pm = sub.add_parser(
+        "postmortem",
+        help="render a flight-recorder post-mortem bundle (written "
+             "automatically when a launch aborts, times out or a worker "
+             "dies and REPRO_POSTMORTEM_DIR or postmortem_to is set)",
+    )
+    p_pm.add_argument(
+        "bundle", help="path to a repro.postmortem/v1 JSON bundle"
+    )
+    p_pm.add_argument(
+        "--last", type=int, default=20,
+        help="events per rank in the merged causal timeline",
+    )
+
     p_tl = sub.add_parser("timeline", help="render a schedule timeline")
     p_tl.add_argument(
         "schedule",
@@ -490,9 +514,9 @@ def _add_backend_flag(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--backend", choices=["thread", "process"], default="thread",
         help="execution backend: thread (every rank a thread of this "
-             "interpreter; full chaos, tracing, detectors) or process "
-             "(one process per rank over shared-memory rings; delay-only "
-             "chaos, no tracing)",
+             "interpreter; full chaos, detectors) or process (one "
+             "process per rank over shared-memory rings; delay-only "
+             "chaos; tracing and metrics are merged across ranks)",
     )
 
 
@@ -567,6 +591,32 @@ def _dump_obs(fabric, tracer, args) -> None:
         print(f"[trace written to {args.trace_out}]")
     if args.metrics_out is not None and fabric is not None:
         fabric.metrics.dump(args.metrics_out)
+        print(f"[metrics written to {args.metrics_out}]")
+
+
+def _make_obs(args, command: str):
+    """Build the (tracer, metrics) pair the --trace/--metrics-out flags ask
+    for, for commands whose harness takes them as explicit arguments."""
+    tracer = None
+    metrics = None
+    if args.trace_out is not None:
+        from .obs import Tracer
+
+        tracer = Tracer(metadata={"command": command})
+    if args.metrics_out is not None:
+        from .obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    return tracer, metrics
+
+
+def _dump_obs_pair(tracer, metrics, args) -> None:
+    """Artefact writer for commands holding a bare (tracer, metrics) pair."""
+    if tracer is not None and args.trace_out is not None:
+        tracer.dump(args.trace_out)
+        print(f"[trace written to {args.trace_out}]")
+    if metrics is not None and args.metrics_out is not None:
+        metrics.dump(args.metrics_out)
         print(f"[metrics written to {args.metrics_out}]")
 
 
@@ -674,20 +724,26 @@ def _cmd_train(args) -> int:
     fabric = None
     tracer = None
     if args.backend == "process":
-        if args.trace_out is not None or args.metrics_out is not None:
-            raise SystemExit(
-                "--trace/--metrics-out require --backend thread (the "
-                "process backend has no shared tracer or registry)"
-            )
         if durable:
             raise SystemExit(
-                "--checkpoint-every/--resume require --backend thread"
+                "--checkpoint-every/--resume require --backend thread "
+                "(the commit hook runs in the driver's process)"
             )
         if args.dp > 1:
-            raise SystemExit("--dp > 1 requires --backend thread")
+            raise SystemExit(
+                "--dp > 1 requires --backend thread (the hybrid driver "
+                "shares one in-process fabric across rings)"
+            )
         from .runtime import ProcessTransport
 
-        fabric = ProcessTransport(topology=topo)
+        if args.trace_out is not None:
+            from .obs import Tracer
+
+            meta = _trace_metadata(args.strategy, args.world, spec)
+            if topo is not None:
+                meta["topology"] = topo.as_dict()
+            tracer = Tracer(metadata=meta)
+        fabric = ProcessTransport(topology=topo, tracer=tracer)
     elif args.trace_out is not None or args.metrics_out is not None or topo is not None:
         from .obs import Tracer
         from .runtime import Fabric
@@ -747,7 +803,12 @@ def _cmd_trace(args) -> int:
         seed=args.seed, precision=FP64, recompute=args.recompute,
     )
     tracer = Tracer(metadata=_trace_metadata(args.strategy, args.world, spec))
-    fabric = Fabric(args.world, tracer=tracer)
+    if args.backend == "process":
+        from .runtime import ProcessTransport
+
+        fabric = ProcessTransport(tracer=tracer)
+    else:
+        fabric = Fabric(args.world, tracer=tracer)
     try:
         train(spec, args.strategy, args.world, fabric=fabric)
     except ValueError as e:
@@ -766,7 +827,11 @@ def _cmd_trace(args) -> int:
         fabric.metrics.dump(args.metrics_out)
 
     print(f"strategy={args.strategy} world={args.world} "
-          f"events={len(doc['traceEvents'])}")
+          f"backend={args.backend} events={len(doc['traceEvents'])}")
+    if args.backend == "process":
+        for r, info in sorted(getattr(fabric, "clock", {}).items()):
+            print(f"clock rank {r}: offset {info['offset_s'] * 1e6:+.1f}us "
+                  f"+-{info['skew_bound_s'] * 1e6:.1f}us ({info['method']})")
     print(f"[trace written to {args.out} — open in Perfetto or "
           "chrome://tracing]")
     if args.no_analyze:
@@ -904,10 +969,6 @@ def _cmd_chaos_sweep(args) -> int:
     metrics = None
     fabric_factory = None
     if args.backend == "process":
-        if args.trace_out is not None or args.metrics_out is not None:
-            raise SystemExit(
-                "--trace/--metrics-out require --backend thread"
-            )
         from .runtime import ProcessTransport
         from .runtime.transport.process import validate_process_policy
 
@@ -919,8 +980,25 @@ def _cmd_chaos_sweep(args) -> int:
                 "--faults) for a process-backend sweep"
             ) from None
 
+        if args.trace_out is not None:
+            from .obs import Tracer
+
+            # one shared tracer: every launch merges its per-rank spills
+            # onto the same pid-r timelines, in sweep order.
+            tracer = Tracer(metadata={
+                "command": "chaos-sweep", "backend": "process",
+                "seeds": list(seeds), "strategies": sorted(strategies),
+            })
+        if args.metrics_out is not None:
+            from .obs import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        transports = []
+
         def fabric_factory(world, pol):
-            return ProcessTransport(policy=pol)
+            t = ProcessTransport(policy=pol, tracer=tracer)
+            transports.append(t)
+            return t
 
     elif args.trace_out is not None or args.metrics_out is not None:
         from .obs import MetricsRegistry, Tracer
@@ -947,6 +1025,11 @@ def _cmd_chaos_sweep(args) -> int:
         fabric_factory=fabric_factory, progress=progress,
     )
     print(report.summary())
+    if args.backend == "process" and metrics is not None:
+        # each launch merged its children into its transport's registry;
+        # fold the per-launch registries into the sweep-wide one.
+        for t in transports:
+            metrics.merge(t.metrics.as_dict())
     if tracer is not None and args.trace_out is not None:
         tracer.dump(args.trace_out)
         print(f"[trace written to {args.trace_out}]")
@@ -964,6 +1047,7 @@ def _cmd_crash_recovery(args) -> int:
     spec = None
     if args.iters is not None:
         spec = default_crash_spec(iters=args.iters)
+    tracer, metrics = _make_obs(args, command="crash-recovery")
     report = run_crash_recovery(
         spec=spec,
         strategy=args.strategy,
@@ -973,8 +1057,11 @@ def _cmd_crash_recovery(args) -> int:
         crash_at_post=args.crash_at_post,
         wire_chaos=args.wire_chaos,
         verify=not args.no_verify,
+        tracer=tracer,
+        metrics=metrics,
     )
     print(report.summary())
+    _dump_obs_pair(tracer, metrics, args)
     return 1 if report.verified is False else 0
 
 
@@ -982,6 +1069,7 @@ def _cmd_self_heal(args) -> int:
     from .testing import default_crash_spec, run_heal_differential, run_self_heal
 
     failed = False
+    tracer, metrics = _make_obs(args, command="self-heal")
 
     if not args.skip_differential:
         print("== heal differential "
@@ -1011,6 +1099,7 @@ def _cmd_self_heal(args) -> int:
         heal = run_self_heal(
             spec=spec, strategy=args.strategy, world=args.world,
             seed=args.seed, flap_duration=args.flap_duration,
+            tracer=tracer, metrics=metrics,
         )
         print(heal.summary())
         failed |= not heal.ok
@@ -1020,7 +1109,8 @@ def _cmd_self_heal(args) -> int:
     from .runtime import ChaosFabric, ChaosPolicy
     from .testing import default_differential_spec
 
-    fabric = ChaosFabric(args.world, ChaosPolicy.quiet(args.seed))
+    fabric = ChaosFabric(args.world, ChaosPolicy.quiet(args.seed),
+                         tracer=tracer, metrics=metrics)
     train(default_differential_spec(), args.strategy, args.world, fabric=fabric)
     retx = fabric._m_heal["fabric_retransmits"].value
     corrupt = fabric._m_heal["fabric_corrupt_frames"].value
@@ -1031,6 +1121,7 @@ def _cmd_self_heal(args) -> int:
               "free on a clean wire")
         failed = True
 
+    _dump_obs_pair(tracer, metrics, args)
     return 1 if failed else 0
 
 
@@ -1164,6 +1255,19 @@ def _cmd_bench_topology(args) -> int:
     return 0
 
 
+def _cmd_postmortem(args) -> int:
+    from .obs.flight import load_postmortem, render_postmortem
+
+    try:
+        bundle = load_postmortem(args.bundle)
+    except OSError as e:
+        raise SystemExit(str(e)) from None
+    except (ValueError, KeyError) as e:
+        raise SystemExit(f"{args.bundle}: {e}") from None
+    print(render_postmortem(bundle, last=args.last))
+    return 0
+
+
 def _cmd_timeline(args) -> int:
     from .sim import WorkloadDims, nvlink_cluster, render_timeline
     from .sim.costmodel import ExecConfig
@@ -1275,6 +1379,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": lambda: _cmd_figure(args),
         "timeline": lambda: _cmd_timeline(args),
         "plan": lambda: _cmd_plan(args),
+        "postmortem": lambda: _cmd_postmortem(args),
         "chaos-sweep": lambda: _cmd_chaos_sweep(args),
         "crash-recovery": lambda: _cmd_crash_recovery(args),
         "self-heal": lambda: _cmd_self_heal(args),

@@ -11,6 +11,10 @@ or via the CLI's ``trace`` command / ``--trace`` flags.
 * :mod:`repro.obs.analyze` — measured bubble ratio, overlap fraction,
   per-turn chunk accounting, cost-model reconciliation.
 * :mod:`repro.obs.schema` — structural trace validation (CI smoke gate).
+* :mod:`repro.obs.merge` — cross-process trace spills, clock alignment
+  and merging (the process backend's path into the analyzer).
+* :mod:`repro.obs.flight` — always-on bounded flight recorder and
+  post-mortem bundles.
 """
 
 from .analyze import (
@@ -23,6 +27,25 @@ from .analyze import (
     load_trace,
     per_turn_chunks,
     reconcile,
+)
+from .flight import (
+    EVENT_NAMES,
+    POSTMORTEM_SCHEMA,
+    FlightBox,
+    FlightRecorder,
+    build_postmortem,
+    dump_postmortem,
+    load_postmortem,
+    postmortem_dir,
+    render_postmortem,
+)
+from .merge import (
+    SPILL_SCHEMA,
+    ClockAlignment,
+    align_clock,
+    dump_trace_spill,
+    load_trace_spill,
+    merge_trace_spill,
 )
 from .metrics import METRICS_SCHEMA, Counter, Gauge, Histogram, MetricsRegistry
 from .schema import validate_chrome_trace
@@ -59,4 +82,19 @@ __all__ = [
     "WALL_TOL",
     "RATIO_TOL",
     "HIER_TRAFFIC_TOL",
+    "SPILL_SCHEMA",
+    "ClockAlignment",
+    "align_clock",
+    "dump_trace_spill",
+    "load_trace_spill",
+    "merge_trace_spill",
+    "POSTMORTEM_SCHEMA",
+    "EVENT_NAMES",
+    "FlightRecorder",
+    "FlightBox",
+    "build_postmortem",
+    "dump_postmortem",
+    "load_postmortem",
+    "render_postmortem",
+    "postmortem_dir",
 ]

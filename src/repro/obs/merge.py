@@ -1,0 +1,165 @@
+"""Cross-process trace assembly: spills, clock alignment, merging.
+
+The thread backend traces into one in-process :class:`Tracer`; the
+process backend cannot — each rank is a forked interpreter with its own
+buffers and, in principle, its own monotonic-clock epoch.  This module
+is the bridge:
+
+* **Spill** (child side): :func:`dump_trace_spill` writes one JSONL file
+  per rank with *raw* ``perf_counter`` timestamps (no epoch applied) and
+  a header carrying the rank's clock sample from the launch handshake.
+* **Align** (parent side): :func:`align_clock` turns the three-way
+  handshake readings into a per-rank ``(offset, skew bound, method)``.
+  The handshake is NTP-style: the parent publishes its epoch ``A`` into
+  the shared control block before forking; each child reads it, samples
+  its own clock ``B_r`` and writes the sample back; the parent observes
+  the sample at its own time ``D_r``.  The child's sample necessarily
+  happened inside the parent interval ``[A, D_r]``:
+
+  - if ``B_r`` already lies inside ``[A, D_r]`` the two clocks share an
+    epoch (on Linux ``perf_counter`` is ``CLOCK_MONOTONIC``, which forks
+    share), so the offset is exactly 0 and the recorded *bound* is the
+    full handshake window ``D_r - A`` (method ``"shared-clock"``);
+  - otherwise the midpoint estimate maps ``B_r`` to ``(A + D_r) / 2``
+    with uncertainty ``(D_r - A) / 2`` (method ``"midpoint"``).
+
+* **Merge** (parent side): :func:`merge_trace_spill` shifts each spilled
+  event by the rank's offset and injects it into the parent's
+  :class:`Tracer` buffers, so the merged document reuses the PR-4
+  exporters, validators and analyzer verbatim — one pid per rank, one
+  common timeline, skew bounds recorded in the trace metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .tracer import Tracer, _jsonable
+
+__all__ = [
+    "SPILL_SCHEMA",
+    "ClockAlignment",
+    "align_clock",
+    "dump_trace_spill",
+    "load_trace_spill",
+    "merge_trace_spill",
+]
+
+#: schema tag of per-rank spill files (raw timestamps, not a trace).
+SPILL_SCHEMA = "repro.trace_spill/v1"
+
+
+@dataclass(frozen=True)
+class ClockAlignment:
+    """How one rank's ``perf_counter`` readings map onto the parent's."""
+
+    rank: int
+    #: add to a child timestamp to get a parent-clock timestamp.
+    offset_s: float
+    #: half-width of the uncertainty interval around the mapping.
+    skew_bound_s: float
+    #: ``"shared-clock"`` (fork shares CLOCK_MONOTONIC; offset exactly 0)
+    #: or ``"midpoint"`` (NTP-style estimate from the handshake window).
+    method: str
+
+    def as_dict(self) -> Dict:
+        return {
+            "offset_s": self.offset_s,
+            "skew_bound_s": self.skew_bound_s,
+            "method": self.method,
+        }
+
+
+def align_clock(
+    rank: int,
+    parent_publish: float,
+    child_sample: float,
+    parent_observe: float,
+) -> ClockAlignment:
+    """Map one child clock onto the parent clock from the handshake.
+
+    ``parent_publish`` (A) and ``parent_observe`` (D) are parent-clock
+    readings bracketing the child's ``child_sample`` (B); see the module
+    docstring for the two-method derivation.
+    """
+    window = max(0.0, parent_observe - parent_publish)
+    if parent_publish <= child_sample <= parent_observe:
+        return ClockAlignment(rank, 0.0, window, "shared-clock")
+    midpoint = (parent_publish + parent_observe) / 2.0
+    return ClockAlignment(rank, midpoint - child_sample, window / 2.0, "midpoint")
+
+
+def dump_trace_spill(
+    tracer: Tracer,
+    path: str,
+    rank: int,
+    clock_sample: Optional[float],
+) -> None:
+    """Write one rank's raw event buffers as a JSONL spill file.
+
+    Line 1 is the header (schema, rank, the rank's clock sample from the
+    handshake, the child tracer's own epoch for reference); every other
+    line is one raw event ``[ph, name, cat, ts, dur, args, pid, tid]``
+    with ``ts`` an *unshifted* ``perf_counter`` reading — the parent
+    applies the alignment offset at merge time.
+    """
+    with open(path, "w") as f:
+        header = {
+            "schema": SPILL_SCHEMA,
+            "rank": rank,
+            "clock_sample": clock_sample,
+            "child_epoch": tracer.epoch,
+            "metadata": _jsonable(tracer.metadata),
+        }
+        f.write(json.dumps(header, separators=(",", ":")) + "\n")
+        with tracer._lock:
+            buffers = list(tracer._buffers.values())
+        for buf in buffers:
+            for ph, name, cat, ts, dur, args in list(buf._events):
+                rec = [ph, name, cat, ts, dur, _jsonable(args) if args else None,
+                       buf.pid, buf.tid]
+                f.write(json.dumps(rec, separators=(",", ":")) + "\n")
+
+
+def load_trace_spill(path: str) -> Dict:
+    """Parse a spill file into ``{"header": ..., "events": [...]}``."""
+    with open(path) as f:
+        lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    if not lines:
+        raise ValueError(f"{path}: empty trace spill")
+    header = json.loads(lines[0])
+    if header.get("schema") != SPILL_SCHEMA:
+        raise ValueError(
+            f"{path}: schema {header.get('schema')!r} is not {SPILL_SCHEMA!r}"
+        )
+    events = [json.loads(ln) for ln in lines[1:]]
+    return {"header": header, "events": events}
+
+
+def merge_trace_spill(
+    tracer: Tracer,
+    spill: Dict,
+    alignment: Optional[ClockAlignment] = None,
+) -> int:
+    """Inject one rank's spilled events into the parent tracer.
+
+    Timestamps are shifted by ``alignment.offset_s`` (0 when absent) so
+    they live on the parent clock; the parent tracer's ``epoch`` then
+    turns them into trace-relative microseconds at export exactly as it
+    does for natively recorded events.  Returns the event count, and
+    records the alignment in ``tracer.metadata["clock"]``.
+    """
+    offset = alignment.offset_s if alignment is not None else 0.0
+    rank = int(spill["header"]["rank"])
+    if alignment is not None:
+        tracer.metadata.setdefault("clock", {})[str(rank)] = {
+            "rank": rank, **alignment.as_dict()
+        }
+    merged = 0
+    for ph, name, cat, ts, dur, args, pid, tid in spill["events"]:
+        buf = tracer.rank(int(pid), int(tid))
+        buf._events.append((ph, name, cat, float(ts) + offset, float(dur), args))
+        merged += 1
+    return merged

@@ -215,3 +215,68 @@ class MetricsRegistry:
         with open(path, "w") as f:
             json.dump(self.as_dict(), f, indent=2, sort_keys=True)
             f.write("\n")
+
+    # -- cross-registry merge ---------------------------------------------------
+
+    def merge(self, snapshot: Dict) -> None:
+        """Fold another registry's :meth:`as_dict` snapshot into this one.
+
+        This is how the process transport reassembles one global registry
+        from per-rank child registries: counters **sum**, gauges reduce by
+        **max** (value and high-water mark alike — the merged view answers
+        "how bad did it get anywhere"), histograms **combine** bucket by
+        bucket.  Label sets are preserved exactly, so per-rank series
+        (``rank=0`` vs ``rank=1``) stay distinct while unlabelled shared
+        series (``fabric_corrupt_frames``) accumulate across ranks.
+
+        Merging a snapshot that contains a zero-valued metric still
+        *creates* the metric here — the eager-zeroing contract (quiet runs
+        show ``fabric_retransmits 0``, not an absent series) survives the
+        process hop.
+        """
+        if snapshot.get("schema") != METRICS_SCHEMA:
+            raise ValueError(
+                f"cannot merge metrics snapshot with schema "
+                f"{snapshot.get('schema')!r} (want {METRICS_SCHEMA!r})"
+            )
+        for entry in snapshot.get("metrics", ()):
+            name = entry["name"]
+            labels = dict(entry.get("labels") or {})
+            kind = entry["kind"]
+            if kind == "counter":
+                self.counter(name, **labels).add(float(entry["value"]))
+            elif kind == "gauge":
+                g = self.gauge(name, **labels)
+                g.value = max(g.value, float(entry["value"]))
+                g.max_value = max(g.max_value, float(entry.get("max", entry["value"])))
+            elif kind == "histogram":
+                self._merge_histogram(name, labels, entry)
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} in snapshot")
+
+    def _merge_histogram(self, name: str, labels: Dict, entry: Dict) -> None:
+        buckets_snap = entry.get("buckets") or {}
+        # the snapshot's bucket dict preserves bound order (``le_…`` keys
+        # first, ``le_inf`` last), so the bounds round-trip losslessly.
+        bounds = tuple(
+            float(k[3:]) for k in buckets_snap if k != "le_inf"
+        )
+        h = self.histogram(name, buckets=bounds or None, **labels)
+        if tuple(h.buckets) != (bounds or tuple(h.buckets)):
+            raise ValueError(
+                f"histogram {name!r} bucket bounds differ between registries"
+            )
+        counts = list(buckets_snap.values())
+        if len(counts) != len(h.counts):
+            raise ValueError(
+                f"histogram {name!r} has {len(counts)} buckets in the "
+                f"snapshot but {len(h.counts)} here"
+            )
+        for i, c in enumerate(counts):
+            h.counts[i] += int(c)
+        n = int(entry.get("count", 0))
+        h.count += n
+        h.total += float(entry.get("sum", 0.0))
+        if n:
+            h.min_value = min(h.min_value, float(entry["min"]))
+            h.max_value = max(h.max_value, float(entry["max"]))

@@ -66,6 +66,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..obs import flight as _flight
 from .communicator import Fabric, _now
 from .integrity import CorruptFrameError, corrupt_copy, payload_crc32
 from .message import Message
@@ -347,6 +348,9 @@ class ChaosFabric(Fabric):
             if pol.crash_rank == msg.src and pol.crash_at_post == n:
                 self.chaos.crashes += 1
                 self._m_injected["crash"].add(1)
+                self.flight.rings[msg.src].record(
+                    _flight.EV_CHAOS_CRASH, msg.src, n
+                )
                 raise ChaosCrash(
                     f"injected crash: rank {msg.src} killed at its "
                     f"{n}th send (tag={msg.tag})"
@@ -368,6 +372,9 @@ class ChaosFabric(Fabric):
                 self.chaos.stalls += 1
                 self.chaos.stall_time_s += stall
                 self._m_injected["stall"].add(1)
+                self.flight.rings[msg.src].record(
+                    _flight.EV_CHAOS_STALL, msg.src, n
+                )
             # NIC outage trigger: from this post on, everything touching
             # the rank queues until the outage ends, and the rank's
             # heartbeats are suppressed (see _heartbeat_locked).
@@ -375,6 +382,9 @@ class ChaosFabric(Fabric):
                 self._nic_down_until[msg.src] = _now() + pol.flap_rank_duration
                 self.chaos.rank_flaps += 1
                 self._m_injected["rank-flap"].add(1)
+                self.flight.rings[msg.src].record(
+                    _flight.EV_CHAOS_FLAP, msg.src, -1
+                )
 
             d = pol.decide(msg.src, msg.dst, msg.tag, seq)
             # Topology serialization is deterministic in (src, dst,
@@ -390,17 +400,26 @@ class ChaosFabric(Fabric):
             if d.delay > 0.0:
                 self.chaos.delayed += 1
                 self._m_injected["delay"].add(1)
+                self.flight.rings[msg.src].record(
+                    _flight.EV_CHAOS_DELAY, msg.src, msg.dst
+                )
             if d.dropped:
                 self.chaos.dropped += 1
                 self.chaos.retransmits += 1
                 self.chaos.extra_wire_bytes += msg.nbytes
                 self._m_injected["drop"].add(1)
                 self._m_heal["fabric_retransmits"].add(1)
+                self.flight.rings[msg.src].record(
+                    _flight.EV_CHAOS_DROP, msg.src, msg.dst
+                )
                 arrival += pol.retry_delay
             hold = pol.flap_hold(msg.src, msg.dst, lp)
             if hold > 0.0:
                 self.chaos.flapped += 1
                 self._m_injected["flap"].add(1)
+                self.flight.rings[msg.src].record(
+                    _flight.EV_CHAOS_FLAP, msg.src, msg.dst
+                )
                 arrival += hold
             # messages to or from a flapped rank queue until its NIC is up.
             mute = max(self._nic_down_until.get(msg.src, 0.0),
@@ -420,6 +439,9 @@ class ChaosFabric(Fabric):
                     self._pristine[(chan, seq)] = msg
                     self.chaos.bitflips += 1
                     self._m_injected["bitflip"].add(1)
+                    self.flight.rings[msg.src].record(
+                        _flight.EV_CHAOS_BITFLIP, msg.src, msg.dst
+                    )
             heapq.heappush(
                 self._limbo, (arrival, next(self._tie), chan, seq, wire, False)
             )
@@ -427,6 +449,9 @@ class ChaosFabric(Fabric):
                 self.chaos.duplicates += 1
                 self.chaos.extra_wire_bytes += msg.nbytes
                 self._m_injected["duplicate"].add(1)
+                self.flight.rings[msg.src].record(
+                    _flight.EV_CHAOS_DUP, msg.src, msg.dst
+                )
                 heapq.heappush(
                     self._limbo,
                     (self._occupy_locked(msg) + d.dup_delay + stall,
@@ -528,6 +553,7 @@ class ChaosFabric(Fabric):
         pol = self.policy
         self.chaos.corrupt_frames += 1
         self._m_heal["fabric_corrupt_frames"].add(1)
+        self.flight.rings[chan[1]].record(_flight.EV_CORRUPT_FRAME, chan[0], seq)
         key = (chan, seq)
         if key in self._retx_inflight:
             # a corrupt *duplicate* of a frame already being recovered:
@@ -548,6 +574,8 @@ class ChaosFabric(Fabric):
         self.chaos.retransmits += 1
         self.chaos.extra_wire_bytes += msg.nbytes
         self._m_heal["fabric_retransmits"].add(1)
+        self.flight.rings[chan[1]].record(_flight.EV_NACK, chan[0], attempt)
+        self.flight.rings[chan[0]].record(_flight.EV_RETRANSMIT, chan[1], attempt)
         backoff = min(pol.retry_delay * (2 ** (attempt - 1)), pol.max_backoff)
         pristine = self._pristine.get(key, msg)
         resend = pristine

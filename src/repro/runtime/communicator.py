@@ -39,6 +39,8 @@ from collections import defaultdict, deque
 from time import perf_counter
 from typing import Any, Deque, Dict, Optional, Tuple
 
+from ..obs import flight as _flight
+from ..obs.flight import FlightBox
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import NULL_TRACER
 from .integrity import payload_crc32
@@ -163,6 +165,11 @@ class Fabric:
                 "ring_rejoins",
             )
         }
+        #: always-on black-box flight recorder: one bounded ring per
+        #: rank holding the most recent fabric/control/integrity events
+        #: (repro.obs.flight).  Fixed memory, allocation-free writes;
+        #: transports dump it into a post-mortem bundle on failure.
+        self.flight = FlightBox(world_size)
         # cached per-kind counter handles so the per-message hot path
         # does one dict lookup, not a registry resolution.
         self._traffic_handles: Dict[str, Tuple[Any, Any]] = {}
@@ -222,6 +229,9 @@ class Fabric:
                     f"request_rejoin() to re-enter the ring"
                 )
             if self._ack_epoch.get(rank, 0) < self._fail_epoch:
+                self.flight.rings[rank].record(
+                    _flight.EV_PEER_FAILED, rank, self._fail_epoch
+                )
                 raise PeerFailed(
                     {r: v for r, v in self._failed.items() if r != rank}
                 )
@@ -241,6 +251,7 @@ class Fabric:
         det = self.detector
         if det is not None and det.heartbeat(rank, now):
             self._m_heal["detector_suspicions_cleared"].add(1)
+            self.flight.rings[rank].record(_flight.EV_SUSPECT_CLEAR, rank)
 
     def _record_traffic_locked(self, msg: Message) -> None:
         """Account one *logical* message, exactly once, for both the
@@ -253,6 +264,7 @@ class Fabric:
         handles safe.
         """
         self.stats.record(msg)
+        self.flight.rings[msg.src].record(_flight.EV_SEND, msg.dst, msg.nbytes)
         kind = tag_kind(msg.tag)
         handles = self._traffic_handles.get(kind)
         if handles is None:
@@ -324,10 +336,13 @@ class Fabric:
         if not posted:
             return
         queue = self._mail[key[0]][(key[1], key[2])]
+        ring = self.flight.rings[key[0]]
         while posted and queue:
             h = posted.popleft()
-            h._value = queue.popleft().payload
+            msg = queue.popleft()
+            h._value = msg.payload
             h._done = True
+            ring.record(_flight.EV_RECV, key[1], msg.nbytes)
         if not posted:
             del self._posted[key]
 
@@ -409,6 +424,9 @@ class Fabric:
                         verdict = det.evaluate(h._src, now)
                         if verdict == "suspect":
                             self._m_heal["detector_suspicions"].add(1)
+                            self.flight.rings[h._dst].record(
+                                _flight.EV_SUSPECT, h._src
+                            )
                             if h._trace is not None:
                                 h._trace.instant(
                                     "suspect", "heal",
@@ -417,6 +435,9 @@ class Fabric:
                                 )
                         elif verdict == "confirm":
                             self._m_heal["detector_confirms"].add(1)
+                            self.flight.rings[h._dst].record(
+                                _flight.EV_CONFIRM, h._src
+                            )
                             if h._trace is not None:
                                 h._trace.instant(
                                     "confirm-dead", "heal", {"rank": h._src}
@@ -491,6 +512,7 @@ class Fabric:
 
     def abort(self, reason: str) -> None:
         with self._cond:
+            self.flight.rings[0].record(_flight.EV_ABORT)
             self._aborted = reason
             self._cond.notify_all()
 
@@ -518,6 +540,9 @@ class Fabric:
             return
         if step is None:
             step = self._progress.get(rank)
+        self.flight.rings[rank].record(
+            _flight.EV_FAIL, rank, step if step is not None else -1
+        )
         self._failed[rank] = (reason, step)
         self._fail_epoch += 1
         self._cond.notify_all()
@@ -570,6 +595,7 @@ class Fabric:
             if self.detector is not None:
                 self.detector.reset(rank)
             self._m_heal["ring_rejoins"].add(1)
+            self.flight.rings[rank].record(_flight.EV_REJOIN, rank, epoch)
             self._cond.notify_all()
 
     def await_readmission(
@@ -602,6 +628,7 @@ class Fabric:
         """Record ``rank``'s training progress (used to annotate the
         ``step`` field of failures it may suffer later)."""
         with self._lock:
+            self.flight.rings[rank].record(_flight.EV_PROGRESS, rank, step)
             self._progress[rank] = step
 
     def progress_of(self, rank: int) -> Optional[int]:

@@ -54,11 +54,23 @@ from __future__ import annotations
 import heapq
 import os
 import pickle
+import shutil
+import tempfile
 import time
 from multiprocessing import get_context
 from multiprocessing import shared_memory as mp_shm
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ...obs import flight as _flight
+from ...obs.merge import (
+    align_clock,
+    dump_trace_spill,
+    load_trace_spill,
+    merge_trace_spill,
+)
+from ...obs.metrics import MetricsRegistry
+from ...obs.tracer import Tracer
 from ..communicator import Fabric, FabricAborted, PeerFailed, RecvTimeout
 from ..integrity import CorruptFrameError, payload_crc32
 from ..message import Message, TrafficStats
@@ -212,10 +224,12 @@ class ShmFabric(Fabric):
         integrity: bool = True,
         poll_interval: float = DEFAULT_POLL_S,
         topology: Any = None,
+        trace: bool = False,
     ):
         validate_process_policy(policy)
         super().__init__(
-            world_size, timeout=timeout, integrity=integrity, topology=topology
+            world_size, timeout=timeout, integrity=integrity, topology=topology,
+            tracer=Tracer() if trace else None,
         )
         self._check_rank(rank)
         self.rank = rank
@@ -223,6 +237,13 @@ class ShmFabric(Fabric):
         self._policy = policy
         self._control = ControlBlock(segment, world_size)
         self._ctrl_token = self._control.disturb_token()
+        # clock-alignment handshake: the launcher published its epoch
+        # before forking; answer with our own clock sample so the parent
+        # can bound the skew between the two timelines (repro.obs.merge).
+        self._clock_sample: Optional[float] = None
+        if self._control.epoch() is not None:
+            self._clock_sample = perf_counter()
+            self._control.set_clock(rank, self._clock_sample)
         # Shared arena: pooled buffers live in the segment and ship as
         # descriptors (by-mapping — the cross-process twin of the thread
         # wire's by-reference handoff), so the engines must follow the
@@ -324,6 +345,7 @@ class ShmFabric(Fabric):
         super()._check_disturbed(rank)
 
     def abort(self, reason: str) -> None:
+        self.flight.rings[self.rank].record(_flight.EV_ABORT, self.rank)
         self._control.abort(reason)
         with self._cond:
             self._sync_control_locked()
@@ -332,6 +354,9 @@ class ShmFabric(Fabric):
         self._check_rank(rank)
         if step is None:
             step = self._control.progress(rank)
+        self.flight.rings[self.rank].record(
+            _flight.EV_FAIL, rank, step if step is not None else -1
+        )
         self._control.fail(rank, reason, step)
         with self._cond:
             self._sync_control_locked()
@@ -344,6 +369,7 @@ class ShmFabric(Fabric):
     def report_progress(self, rank: int, step: int) -> None:
         self._control.set_progress(rank, step)
         with self._lock:
+            self.flight.rings[self.rank].record(_flight.EV_PROGRESS, rank, step)
             self._progress[rank] = step
 
     def progress_of(self, rank: int) -> Optional[int]:
@@ -445,6 +471,9 @@ class ShmFabric(Fabric):
                 )
                 self._limbo_seq += 1
                 self._m_delays.add(1)
+                self.flight.rings[self.rank].record(
+                    _flight.EV_CHAOS_DELAY, msg.src, msg.dst
+                )
                 return
         self._mail[msg.dst][(msg.src, msg.tag)].append(msg)
         self._drain_locked((msg.dst, msg.src, msg.tag))
@@ -460,6 +489,9 @@ class ShmFabric(Fabric):
         if self.integrity and frame.crc is not None:
             if frame.crc_actual != frame.crc:
                 self.metrics.counter("fabric_corrupt_frames").add(1)
+                self.flight.rings[self.rank].record(
+                    _flight.EV_CORRUPT_FRAME, src, frame.seq
+                )
                 raise CorruptFrameError(
                     f"frame CRC mismatch on link {src}->{self.rank} "
                     f"tag={frame.tag} (shared memory is a reliable wire; "
@@ -551,6 +583,7 @@ def _stats_bundle(fabric: ShmFabric) -> Dict:
         "traffic": fabric.stats,
         "pool": pool.as_dict() if pool is not None else None,
         "metrics": fabric.metrics.as_dict(),
+        "flight": fabric.flight.rings[fabric.rank].snapshot(),
     }
     if fabric._arena is not None and bundle["pool"] is not None:
         bundle["pool"]["arena_used"] = fabric._arena.used
@@ -570,19 +603,43 @@ def _child_main(
 ) -> None:
     import traceback
 
-    fabric = ShmFabric(world, rank, segment, timeout=timeout, **fabric_kw)
+    fabric_kw = dict(fabric_kw)
+    trace_dir = fabric_kw.pop("trace_dir", None)
+    fabric = ShmFabric(
+        world, rank, segment, timeout=timeout,
+        trace=trace_dir is not None, **fabric_kw
+    )
     comm = fabric.communicator(rank)
+
+    def _spill_trace() -> None:
+        # written *before* the report goes up the pipe — the parent
+        # merges the spill files only after every rank has reported.
+        if trace_dir is None:
+            return
+        try:
+            dump_trace_spill(
+                fabric.tracer,
+                os.path.join(trace_dir, f"trace-rank{rank}.jsonl"),
+                rank,
+                fabric._clock_sample,
+            )
+        except Exception:  # pragma: no cover - diagnostics must not mask
+            pass
+
     try:
         result = fn(comm)
+        _spill_trace()
         conn.send(("ok", result, None, _stats_bundle(fabric)))
     except BaseException as exc:  # noqa: BLE001 - must report everything
         tb = traceback.format_exc()
+        fabric.flight.rings[rank].record(_flight.EV_WORKER_ERROR, rank)
         try:
             if elastic:
                 fabric.fail_rank(rank, f"raised {exc!r}")
             else:
                 fabric.abort(f"rank {rank} raised {exc!r}")
         finally:
+            _spill_trace()
             conn.send(("err", None, (_ship_exception(exc), tb),
                        _stats_bundle(fabric)))
     finally:
@@ -592,19 +649,58 @@ def _child_main(
 # -- the transport ------------------------------------------------------------
 
 
+#: counters every fabric creates eagerly (quiet runs must export zeros).
+_EAGER_COUNTERS = (
+    "fabric_retransmits",
+    "fabric_corrupt_frames",
+    "detector_suspicions",
+    "detector_suspicions_cleared",
+    "detector_confirms",
+    "ring_rejoins",
+)
+
+
+def _eager_registry() -> MetricsRegistry:
+    """A fresh parent-side registry with the heal counters pre-zeroed.
+
+    Children create these eagerly too (``Fabric.__init__``) so the merge
+    preserves them, but a rank that dies before reporting must not turn
+    an explicit zero into an absent series — analyzer summaries diff the
+    thread and process backends and need identical metric name sets.
+    """
+    reg = MetricsRegistry()
+    for name in _EAGER_COUNTERS:
+        reg.counter(name)
+    return reg
+
+
 class ProcessTransport(Transport):
     """Fork one worker process per rank over a shared ring segment.
 
     After a launch, ``stats`` / ``pool`` / ``metrics`` hold the merged
     per-rank telemetry (each message is posted by exactly one rank, so
-    summing child ledgers reproduces the global traffic exactly).  A
-    transport may be launched repeatedly; the merged views describe the
-    most recent launch.
+    summing child ledgers reproduces the global traffic exactly; the
+    ``metrics`` registry is a full label-aware merge — counters sum,
+    gauges max-reduce, histograms combine).  A transport may be launched
+    repeatedly; the merged views describe the most recent launch.
+
+    Pass a real ``tracer`` to trace across the process boundary: each
+    child records into its own per-rank buffers, spills them as raw
+    JSONL at exit, and the parent merges every spill into the given
+    tracer on one timeline — child clocks are mapped through the
+    launch-time handshake over the control block, with the per-rank
+    offset and skew bound recorded in ``tracer.metadata["clock"]``.
+
+    Every launch also reassembles the per-rank flight-recorder rings;
+    on failure (worker error, abort, join timeout) the transport builds
+    a post-mortem bundle (``last_postmortem``) and, when
+    ``postmortem_to`` or ``$REPRO_POSTMORTEM_DIR`` names a directory,
+    writes it there (``last_postmortem_path``).
     """
 
     name = "process"
     supports_detector = False
-    supports_tracer = False
+    supports_tracer = True
     chaos = "delay-only"
 
     def __init__(
@@ -615,6 +711,8 @@ class ProcessTransport(Transport):
         arena_bytes: int = DEFAULT_ARENA_BYTES,
         poll_interval: float = DEFAULT_POLL_S,
         topology: Any = None,
+        tracer: Any = None,
+        postmortem_to: Optional[str] = None,
     ):
         validate_process_policy(policy)
         self.policy = policy
@@ -623,11 +721,27 @@ class ProcessTransport(Transport):
         self.arena_bytes = arena_bytes
         self.poll_interval = poll_interval
         self.topology = topology
+        #: parent-side tracer the per-rank spills merge into (None or a
+        #: disabled tracer = untraced run, zero child-side overhead).
+        self.tracer = tracer if (tracer is not None and
+                                 getattr(tracer, "enabled", False)) else None
+        #: explicit post-mortem dump directory (falls back to the
+        #: ``REPRO_POSTMORTEM_DIR`` environment variable).
+        self.postmortem_to = postmortem_to
         #: merged per-rank telemetry of the most recent launch.
         self.stats = TrafficStats()
         self.pool: Optional[Dict] = None
         self.pools_by_rank: List[Optional[Dict]] = []
         self.metrics_by_rank: List[Optional[Dict]] = []
+        self.metrics: MetricsRegistry = _eager_registry()
+        #: per-rank flight-recorder snapshots of the most recent launch.
+        self.flights_by_rank: Dict[str, Dict] = {}
+        #: per-rank clock alignment of the most recent launch.
+        self.clock: Dict[str, Dict] = {}
+        #: post-mortem bundle of the most recent *failed* launch (None
+        #: after a clean one), and where it was written (if anywhere).
+        self.last_postmortem: Optional[Dict] = None
+        self.last_postmortem_path: Optional[str] = None
 
     def launch(
         self,
@@ -644,12 +758,22 @@ class ProcessTransport(Transport):
             )
         if world_size == 1:
             # degenerate group: no peers, no rings — run inline on the
-            # thread transport so serial baselines behave identically.
+            # thread transport so serial baselines behave identically
+            # (with the parent tracer attached directly: one process,
+            # no spill/merge needed).
             from .thread import ThreadTransport
 
-            return ThreadTransport().launch(
-                world_size, fn, timeout, elastic, detector
-            )
+            fab = None
+            if self.tracer is not None:
+                fab = Fabric(
+                    1, timeout=timeout, tracer=self.tracer,
+                    topology=self.topology, integrity=self.integrity,
+                )
+            tt = ThreadTransport(fab)
+            out = tt.launch(world_size, fn, timeout, elastic, detector)
+            if fab is not None:
+                self.metrics = fab.metrics
+            return out
         ctx = get_context("fork")
         control_bytes = (ControlBlock.size(world_size) + 63) & ~63
         total = (
@@ -661,11 +785,27 @@ class ProcessTransport(Transport):
         self.pool = None
         self.pools_by_rank = [None] * world_size
         self.metrics_by_rank = [None] * world_size
+        self.metrics = _eager_registry()
+        self.flights_by_rank = {}
+        self.clock = {}
+        self.last_postmortem = None
+        self.last_postmortem_path = None
         results: List[Any] = [None] * world_size
         errors: List[Optional[WorkerError]] = [None] * world_size
         control: Optional[ControlBlock] = None
+        trace_dir: Optional[str] = None
         try:
             control = ControlBlock(shm.buf, world_size, create=True)
+            # clock handshake, half 1: publish the parent epoch before
+            # any child can fork, so every child's sample is bracketed
+            # by [epoch, first parent observation].
+            parent_epoch = perf_counter()
+            control.publish_epoch(parent_epoch)
+            if self.tracer is not None:
+                # merged child events land in the parent's clock domain,
+                # so the tracer's own epoch (set at construction) stays —
+                # one tracer can span several launches (e.g. a sweep).
+                trace_dir = tempfile.mkdtemp(prefix="repro-trace-spill-")
             for src in range(world_size):
                 for dst in range(world_size):
                     if src == dst:
@@ -686,6 +826,7 @@ class ProcessTransport(Transport):
                 integrity=self.integrity,
                 poll_interval=self.poll_interval,
                 topology=self.topology,
+                trace_dir=trace_dir,
             )
             pipes = [ctx.Pipe(duplex=False) for _ in range(world_size)]
             procs = [
@@ -706,10 +847,17 @@ class ProcessTransport(Transport):
             deadline = Deadline(timeout)
             reports: Dict[int, tuple] = {}
             pending = set(range(world_size))
+            clock_obs: Dict[int, float] = {}
             # poll pipes *while* waiting: a child blocks in send() if the
             # pipe buffer fills, so the parent must drain during the join.
             while pending and not deadline.expired():
                 progressed = False
+                # clock handshake, half 2: note when each child's sample
+                # first becomes visible — that observation time is the
+                # upper bracket of the rank's alignment window.
+                for r in range(world_size):
+                    if r not in clock_obs and control.clock(r) is not None:
+                        clock_obs[r] = perf_counter()
                 for r in sorted(pending):
                     conn = pipes[r][0]
                     if conn.poll(0):
@@ -746,6 +894,18 @@ class ProcessTransport(Transport):
                         p.terminate()
                         p.join(timeout=2.0)
                 stuck = ", ".join(f"worker-{r}" for r in sorted(pending))
+                for r, report in reports.items():
+                    if report:
+                        self._merge_stats(r, report[3])
+                self._observe_clock(world_size, control, clock_obs,
+                                    parent_epoch)
+                self._build_postmortem(
+                    world_size,
+                    {"kind": "timeout",
+                     "detail": f"{stuck} did not finish within the group "
+                               f"deadline ({timeout}s)"},
+                    control,
+                )
                 raise TimeoutError(
                     f"{stuck} did not finish within the group deadline "
                     f"({timeout}s shared across all ranks)"
@@ -756,6 +916,7 @@ class ProcessTransport(Transport):
                     p.terminate()
                     p.join(timeout=2.0)
 
+            self._observe_clock(world_size, control, clock_obs, parent_epoch)
             for r in range(world_size):
                 report = reports.get(r)
                 if report is None:
@@ -773,6 +934,22 @@ class ProcessTransport(Transport):
                 else:
                     shipped, tb = err
                     errors[r] = WorkerError(r, _revive_exception(shipped), tb)
+
+            if self.tracer is not None and trace_dir is not None:
+                self._merge_traces(world_size, trace_dir)
+
+            aborted_reason = control.aborted()
+            first = next((e for e in errors if e is not None), None)
+            if first is not None or aborted_reason:
+                if first is not None:
+                    reason = {
+                        "kind": type(first.original).__name__,
+                        "detail": str(first.original),
+                        "rank": first.rank,
+                    }
+                else:  # pragma: no cover - abort without a worker error
+                    reason = {"kind": "abort", "detail": aborted_reason}
+                self._build_postmortem(world_size, reason, control)
         finally:
             # every live slice of the segment must be dropped before
             # close() — an exported memoryview makes the munmap raise.
@@ -783,7 +960,63 @@ class ProcessTransport(Transport):
                 shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
+            if trace_dir is not None:
+                shutil.rmtree(trace_dir, ignore_errors=True)
         return results, errors
+
+    def _observe_clock(
+        self,
+        world: int,
+        control: ControlBlock,
+        clock_obs: Dict[int, float],
+        parent_epoch: float,
+    ) -> None:
+        """Turn the handshake readings into per-rank clock alignments."""
+        now = perf_counter()
+        for r in range(world):
+            sample = control.clock(r)
+            if sample is None:
+                continue
+            al = align_clock(r, parent_epoch, sample, clock_obs.get(r, now))
+            self.clock[str(r)] = {"rank": r, **al.as_dict()}
+
+    def _merge_traces(self, world: int, trace_dir: str) -> None:
+        """Merge every rank's spill into the parent tracer, clock-mapped."""
+        from ...obs.merge import ClockAlignment
+
+        for r in range(world):
+            path = os.path.join(trace_dir, f"trace-rank{r}.jsonl")
+            if not os.path.exists(path):
+                continue
+            info = self.clock.get(str(r))
+            alignment = (
+                ClockAlignment(r, info["offset_s"], info["skew_bound_s"],
+                               info["method"])
+                if info else None
+            )
+            merge_trace_spill(self.tracer, load_trace_spill(path), alignment)
+
+    def _build_postmortem(
+        self, world: int, reason: Dict, control: ControlBlock
+    ) -> Dict:
+        flights = dict(self.flights_by_rank)
+        for r in range(world):
+            flights.setdefault(str(r), {
+                "rank": r, "capacity": 0, "recorded": 0, "dropped": 0,
+                "events": [],
+            })
+        bundle = _flight.build_postmortem(
+            self.name, world, reason, flights,
+            failed=control.failed(), aborted=control.aborted(),
+            clock=self.clock,
+        )
+        self.last_postmortem = bundle
+        directory = self.postmortem_to or _flight.postmortem_dir()
+        if directory:
+            self.last_postmortem_path = _flight.dump_postmortem(
+                bundle, directory
+            )
+        return bundle
 
     def _merge_stats(self, rank: int, bundle: Optional[Dict]) -> None:
         if not bundle:
@@ -791,6 +1024,9 @@ class ProcessTransport(Transport):
         self.stats.merge(bundle["traffic"])
         self.pools_by_rank[rank] = bundle["pool"]
         self.metrics_by_rank[rank] = bundle["metrics"]
+        self.metrics.merge(bundle["metrics"])
+        if bundle.get("flight"):
+            self.flights_by_rank[str(rank)] = bundle["flight"]
         if bundle["pool"]:
             if self.pool is None:
                 self.pool = dict(bundle["pool"])

@@ -490,12 +490,21 @@ class ControlBlock:
     sees a complete record.  ``disturb_token()`` returns the abort byte
     plus all fail flags as one small bytes object — the per-operation
     hot-path check is a slice copy and an equality compare.
+
+    The tail of the block is the **clock-alignment handshake** region:
+    one parent slot (the launcher's ``perf_counter`` epoch, published
+    before fork) and one slot per rank (the child's own clock sample,
+    taken right after reading the epoch).  Each slot is an 8-byte float
+    plus a publish flag, same write-then-flag discipline as the fail
+    records; :mod:`repro.obs.merge` turns the three readings into a
+    per-rank clock offset with a recorded skew bound.
     """
 
     @staticmethod
     def size(world: int) -> int:
         reason_off = (16 + world + 7) & ~7
-        return reason_off + 2 + _ABORT_REASON_MAX + world * _RANK_STRIDE
+        ranks_end = reason_off + 2 + _ABORT_REASON_MAX + world * _RANK_STRIDE
+        return ranks_end + 16 * (world + 1)
 
     def __init__(self, buf: memoryview, world: int, create: bool = False):
         need = self.size(world)
@@ -506,6 +515,7 @@ class ControlBlock:
         self._flags_off = 16
         self._reason_off = (16 + world + 7) & ~7
         self._ranks_off = self._reason_off + 2 + _ABORT_REASON_MAX
+        self._clock_off = self._ranks_off + world * _RANK_STRIDE
         if create:
             self._mv[:] = b"\x00" * need
             struct.pack_into("<II", self._mv, 0, _MAGIC, world)
@@ -590,3 +600,27 @@ class ControlBlock:
         if not self._mv[off + 24]:
             return None
         return struct.unpack_from("<q", self._mv, off + 16)[0]
+
+    # -- clock-alignment handshake --------------------------------------------
+
+    def publish_epoch(self, epoch: float) -> None:
+        """Launcher side: publish the parent ``perf_counter`` epoch."""
+        struct.pack_into("<d", self._mv, self._clock_off, epoch)
+        self._mv[self._clock_off + 8] = 1
+
+    def epoch(self) -> Optional[float]:
+        if not self._mv[self._clock_off + 8]:
+            return None
+        return struct.unpack_from("<d", self._mv, self._clock_off)[0]
+
+    def set_clock(self, rank: int, sample: float) -> None:
+        """Child side: publish this rank's own clock sample."""
+        off = self._clock_off + 16 * (rank + 1)
+        struct.pack_into("<d", self._mv, off, sample)
+        self._mv[off + 8] = 1
+
+    def clock(self, rank: int) -> Optional[float]:
+        off = self._clock_off + 16 * (rank + 1)
+        if not self._mv[off + 8]:
+            return None
+        return struct.unpack_from("<d", self._mv, off)[0]

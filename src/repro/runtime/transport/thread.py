@@ -15,8 +15,9 @@ on the GIL, which is exactly what the shared-memory process transport
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ...obs import flight as _flight
 from .base import Deadline, Transport, WorkerError, join_group
 
 __all__ = ["ThreadTransport"]
@@ -30,9 +31,16 @@ class ThreadTransport(Transport):
     supports_tracer = True
     chaos = "full"
 
-    def __init__(self, fabric: Any = None):
+    def __init__(self, fabric: Any = None, postmortem_to: Optional[str] = None):
         #: the fabric all ranks share; built at launch when not supplied.
         self.fabric = fabric
+        #: explicit post-mortem dump directory (falls back to the
+        #: ``REPRO_POSTMORTEM_DIR`` environment variable).
+        self.postmortem_to = postmortem_to
+        #: post-mortem bundle of the most recent *failed* launch (None
+        #: after a clean one), and where it was written (if anywhere).
+        self.last_postmortem: Optional[Dict] = None
+        self.last_postmortem_path: Optional[str] = None
 
     def launch(
         self,
@@ -66,6 +74,7 @@ class ThreadTransport(Transport):
                 results[rank] = fn(comm)
             except BaseException as exc:  # noqa: BLE001 - must propagate everything
                 errors[rank] = WorkerError.capture(rank, exc)
+                fab.flight.rings[rank].record(_flight.EV_WORKER_ERROR, rank)
                 if elastic:
                     # fail-stop: only this rank dies; survivors are
                     # notified at their next fabric op and may recover.
@@ -84,4 +93,31 @@ class ThreadTransport(Transport):
             Deadline(timeout),
             on_timeout=lambda: fab.abort("join timeout"),
         )
+        self.last_postmortem = None
+        self.last_postmortem_path = None
+        first = next((e for e in errors if e is not None), None)
+        aborted = fab._aborted
+        if first is not None or aborted:
+            if first is not None:
+                reason = {
+                    "kind": type(first.original).__name__,
+                    "detail": str(first.original),
+                    "rank": first.rank,
+                }
+            else:
+                reason = {"kind": "abort", "detail": aborted}
+            bundle = _flight.build_postmortem(
+                self.name,
+                world_size,
+                reason,
+                fab.flight.snapshot(),
+                failed=fab.failed_ranks(),
+                aborted=aborted,
+            )
+            self.last_postmortem = bundle
+            directory = self.postmortem_to or _flight.postmortem_dir()
+            if directory:
+                self.last_postmortem_path = _flight.dump_postmortem(
+                    bundle, directory
+                )
         return results, errors

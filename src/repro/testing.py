@@ -36,6 +36,7 @@ __all__ = [
     "default_differential_spec",
     "run_differential",
     "run_backend_differential",
+    "run_traced_backend_differential",
     "CrashRecoveryReport",
     "default_crash_spec",
     "run_crash_recovery",
@@ -339,6 +340,8 @@ def run_crash_recovery(
     wire_chaos: bool = False,
     verify: bool = True,
     timeout: float = 120.0,
+    tracer=None,
+    metrics=None,
 ) -> CrashRecoveryReport:
     """Kill one worker mid-training and check elastic recovery end-to-end.
 
@@ -388,7 +391,10 @@ def run_crash_recovery(
 
     base = ChaosPolicy(seed=seed) if wire_chaos else ChaosPolicy.quiet(seed)
     policy = _replace(base, crash_rank=crash_rank, crash_at_post=crash_at_post)
-    fabric = ChaosFabric(world, policy, timeout=timeout)
+    # only the crash run is observed: the probe and the clean verify run
+    # are scaffolding, and tracing them would bury the interesting events.
+    fabric = ChaosFabric(world, policy, timeout=timeout, tracer=tracer,
+                         metrics=metrics)
     result = train_elastic(spec, strategy, world, fabric=fabric, timeout=timeout)
 
     events = result.extra["recovery_events"]
@@ -615,6 +621,91 @@ def run_backend_differential(
                     ))
                 if progress is not None:
                     progress(f"{name}/P{world}/{prec}", chaos_seed, failure)
+    if raise_on_failure:
+        report.raise_if_failed()
+    return report
+
+
+def run_traced_backend_differential(
+    strategies: Optional[Mapping[str, int]] = None,
+    worlds: Iterable[int] = (2, 4),
+    precisions: Iterable[str] = ("fp64", "fp32"),
+    spec=None,
+    raise_on_failure: bool = False,
+    progress: Optional[Callable[[str, int, Optional[str]], None]] = None,
+) -> DifferentialReport:
+    """Tracing on the process backend must be **bitwise invisible**.
+
+    Every cell trains twice on a quiet-wire
+    :class:`~repro.runtime.ProcessTransport` — once bare, once with a
+    live :class:`~repro.obs.Tracer` (per-child spill buffers, parent-side
+    merge, clock handshake, metrics merge all active) — and demands the
+    two runs agree bit for bit on losses and final weights.  The traced
+    run's merged trace must also pass schema validation with one pid per
+    rank, or the cell fails.
+
+    ``strategies`` maps name -> *maximum* world size (defaults to
+    :data:`DEFAULT_DIFFERENTIAL_STRATEGIES`); worlds beyond a strategy's
+    cap are skipped, exactly as in :func:`run_backend_differential`.
+    """
+    from dataclasses import replace as _replace
+
+    from .core.api import STRATEGIES
+    from .nn.precision import FP32, FP64
+    from .obs import Tracer, validate_chrome_trace
+    from .runtime import ProcessTransport
+
+    if strategies is None:
+        strategies = DEFAULT_DIFFERENTIAL_STRATEGIES
+    if spec is None:
+        spec = default_differential_spec()
+    prec_map = {"fp64": FP64, "fp32": FP32}
+    worlds = list(worlds)
+    precisions = list(precisions)
+
+    report = DifferentialReport(strategies=dict(strategies), seeds=[0])
+    for name, max_world in strategies.items():
+        if name not in STRATEGIES:
+            raise ValueError(f"unknown strategy {name!r}")
+        runner = STRATEGIES[name]
+        for world in worlds:
+            if world > max_world:
+                continue
+            for prec in precisions:
+                cell_spec = _replace(spec, precision=prec_map[prec])
+                report.runs += 1
+                failure: Optional[str] = None
+                try:
+                    bare = runner(cell_spec, world, ProcessTransport())
+                    tracer = Tracer(metadata={"strategy": name, "world": world})
+                    traced = runner(
+                        cell_spec, world, ProcessTransport(tracer=tracer)
+                    )
+                    failure = _diff_bitwise(bare, traced)
+                    if failure is None:
+                        doc = tracer.chrome_trace()
+                        problems = validate_chrome_trace(doc)
+                        if problems:
+                            failure = f"trace schema: {problems[0]}"
+                        else:
+                            pids = {
+                                e["pid"] for e in doc["traceEvents"]
+                                if e.get("ph") != "M"
+                            }
+                            if pids != set(range(world)):
+                                failure = (
+                                    f"merged trace covers pids {sorted(pids)}"
+                                    f", expected 0..{world - 1}"
+                                )
+                except Exception as exc:  # noqa: BLE001 - report, don't abort
+                    first = (str(exc).splitlines() or [""])[0]
+                    failure = f"{type(exc).__name__}: {first}"
+                if failure is not None:
+                    report.failures.append(DifferentialFailure(
+                        name, world, 0, f"[{prec}] {failure}"
+                    ))
+                if progress is not None:
+                    progress(f"{name}/P{world}/{prec}", 0, failure)
     if raise_on_failure:
         report.raise_if_failed()
     return report
@@ -927,6 +1018,8 @@ def run_self_heal(
     min_confirm_s: float = 0.25,
     timeout: float = 180.0,
     max_attempts: int = 3,
+    tracer=None,
+    metrics=None,
 ) -> SelfHealReport:
     """Knock a rank's NIC out mid-training and check the full heal cycle.
 
@@ -985,7 +1078,8 @@ def run_self_heal(
             min_confirm_s=min_confirm_s,
             poll_interval=0.01,
         )
-        fabric = ChaosFabric(world, policy, timeout=timeout, detector=detector)
+        fabric = ChaosFabric(world, policy, timeout=timeout, detector=detector,
+                             tracer=tracer, metrics=metrics)
         try:
             result = train_elastic(
                 spec, strategy, world, fabric=fabric, timeout=timeout

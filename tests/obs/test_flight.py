@@ -1,0 +1,169 @@
+"""Flight recorder unit tests: ring semantics, bundles, rendering.
+
+The recorder is the always-on black box (DESIGN.md §16): a bounded
+preallocated ring per rank that the transports snapshot into a
+``repro.postmortem/v1`` bundle when a launch dies.  These tests pin the
+ring's overwrite/ordering contract, the event taxonomy's stability, the
+bundle round-trip, and the renderer's merged causal timeline.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.flight import (
+    DEFAULT_CAPACITY,
+    EVENT_NAMES,
+    EV_ABORT,
+    EV_RECV,
+    EV_SEND,
+    EV_WORKER_ERROR,
+    POSTMORTEM_SCHEMA,
+    FlightBox,
+    FlightRecorder,
+    build_postmortem,
+    dump_postmortem,
+    load_postmortem,
+    postmortem_dir,
+    render_postmortem,
+)
+
+
+# -- ring semantics -----------------------------------------------------------
+
+
+def test_ring_records_in_order_until_full():
+    fr = FlightRecorder(0, capacity=8)
+    assert len(fr) == 0
+    assert fr.dropped == 0
+    for i in range(5):
+        fr.record(EV_SEND, a=i, b=i * 10)
+    assert len(fr) == 5
+    evs = fr.events()
+    assert [e["a"] for e in evs] == [0, 1, 2, 3, 4]
+    assert [e["b"] for e in evs] == [0, 10, 20, 30, 40]
+    assert all(e["event"] == "send" for e in evs)
+    ts = [e["ts"] for e in evs]
+    assert ts == sorted(ts)
+
+
+def test_ring_wraps_keeping_most_recent():
+    fr = FlightRecorder(3, capacity=4)
+    for i in range(11):
+        fr.record(EV_RECV, a=i)
+    assert len(fr) == 4
+    assert fr.dropped == 7
+    assert [e["a"] for e in fr.events()] == [7, 8, 9, 10]
+    snap = fr.snapshot()
+    assert snap["rank"] == 3
+    assert snap["recorded"] == 11
+    assert snap["dropped"] == 7
+    assert len(snap["events"]) == 4
+
+
+def test_ring_is_preallocated_and_in_place():
+    # the hot path must not grow anything: the column arrays are the
+    # same objects before and after a full wrap.
+    fr = FlightRecorder(0, capacity=16)
+    cols = (fr._ts, fr._code, fr._a, fr._b)
+    for i in range(100):
+        fr.record(EV_SEND, a=i, b=i)
+    assert (fr._ts, fr._code, fr._a, fr._b) == cols
+    assert all(c.shape == (16,) for c in cols)
+
+
+def test_unknown_code_decodes_without_crashing():
+    fr = FlightRecorder(0, capacity=4)
+    fr.record(9999, a=1)
+    assert fr.events()[0]["event"] == "event_9999"
+
+
+def test_event_taxonomy_is_stable():
+    # codes are part of the bundle format: unique, dense-ish, named.
+    assert len(set(EVENT_NAMES)) == len(EVENT_NAMES)
+    assert len(set(EVENT_NAMES.values())) == len(EVENT_NAMES)
+    assert EVENT_NAMES[EV_SEND] == "send"
+    assert EVENT_NAMES[EV_WORKER_ERROR] == "worker_error"
+    assert min(EVENT_NAMES) == 1
+    assert max(EVENT_NAMES) == len(EVENT_NAMES)  # append-only, no holes
+
+
+def test_flightbox_snapshot_covers_every_rank():
+    box = FlightBox(3, capacity=4)
+    box.rank(1).record(EV_SEND, a=2)
+    snap = box.snapshot()
+    assert sorted(snap) == ["0", "1", "2"]
+    assert snap["1"]["events"][0]["a"] == 2
+    assert snap["0"]["events"] == []
+
+
+# -- bundles ------------------------------------------------------------------
+
+
+def _bundle():
+    box = FlightBox(2, capacity=8)
+    box.rank(0).record(EV_SEND, a=1, b=64)
+    box.rank(1).record(EV_RECV, a=0, b=64)
+    box.rank(1).record(EV_WORKER_ERROR, a=1)
+    box.rank(1).record(EV_ABORT, a=1)
+    return build_postmortem(
+        "thread", 2, {"kind": "RuntimeError", "detail": "boom", "rank": 1},
+        box.snapshot(),
+        failed={1: ("raised RuntimeError", 3)},
+        aborted="rank 1 raised",
+        clock={"1": {"rank": 1, "offset_s": 0.0, "skew_bound_s": 1e-3,
+                     "method": "shared-clock"}},
+    )
+
+
+def test_bundle_shape_and_roundtrip(tmp_path):
+    bundle = _bundle()
+    assert bundle["schema"] == POSTMORTEM_SCHEMA
+    assert bundle["world"] == 2
+    assert bundle["failed"] == {"1": ["raised RuntimeError", 3]}
+    assert sorted(bundle["ranks"]) == ["0", "1"]
+
+    path = dump_postmortem(bundle, str(tmp_path / "bundles"))
+    assert os.path.exists(path)
+    loaded = load_postmortem(path)
+    assert loaded == json.loads(json.dumps(bundle))  # JSON-clean
+
+
+def test_load_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema": "something/else"}))
+    with pytest.raises(ValueError, match="schema"):
+        load_postmortem(str(path))
+
+
+def test_postmortem_dir_reads_env(monkeypatch):
+    monkeypatch.delenv("REPRO_POSTMORTEM_DIR", raising=False)
+    assert postmortem_dir() is None
+    monkeypatch.setenv("REPRO_POSTMORTEM_DIR", "/tmp/pm")
+    assert postmortem_dir() == "/tmp/pm"
+    monkeypatch.setenv("REPRO_POSTMORTEM_DIR", "   ")
+    assert postmortem_dir() is None
+
+
+def test_render_merges_ranks_causally():
+    text = render_postmortem(_bundle(), last=10)
+    assert "RuntimeError: boom" in text
+    assert "failed rank 1" in text
+    assert "shared-clock" in text
+    assert "rank 0" in text and "rank 1" in text
+    # the merged timeline lists events in aligned-time order: the send
+    # happened before the recv, the worker_error before the abort.
+    lines = [l for l in text.splitlines() if "ms  rank" in l]
+    order = [l.split()[3] for l in lines]
+    assert order.index("send") < order.index("recv")
+    assert order.index("worker_error") < order.index("abort")
+
+
+def test_render_handles_empty_bundle():
+    bundle = build_postmortem("process", 1, {"kind": "timeout"}, {
+        "0": {"rank": 0, "capacity": 0, "recorded": 0, "dropped": 0,
+              "events": []},
+    })
+    text = render_postmortem(bundle)
+    assert "no events recorded" in text

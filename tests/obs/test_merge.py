@@ -1,0 +1,188 @@
+"""Cross-process merge machinery: metrics fold, clock alignment, spills.
+
+The process backend's children each hold a private MetricsRegistry and
+Tracer; at join time the parent folds the registries (label-aware:
+counters sum, gauges max-reduce, histograms combine bucket-wise) and
+splices the per-rank trace spills onto its own clock via the launch-time
+alignment handshake.  These tests pin each piece in isolation.
+"""
+
+import math
+
+import pytest
+
+from repro.obs.merge import (
+    SPILL_SCHEMA,
+    ClockAlignment,
+    align_clock,
+    dump_trace_spill,
+    load_trace_spill,
+    merge_trace_spill,
+)
+from repro.obs.metrics import METRICS_SCHEMA, MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+# -- metrics merge ------------------------------------------------------------
+
+
+def test_counters_sum_across_registries():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("frames").add(3)
+    b.counter("frames").add(4)
+    a.merge(b.as_dict())
+    assert a.value("frames") == 7.0
+
+
+def test_merge_is_label_aware():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("sent", rank="0").add(1)
+    b.counter("sent", rank="0").add(10)
+    b.counter("sent", rank="1").add(100)
+    a.merge(b.as_dict())
+    assert a.value("sent", rank="0") == 11.0
+    assert a.value("sent", rank="1") == 100.0
+    assert a.total("sent", label="rank") == {"0": 11.0, "1": 100.0}
+
+
+def test_gauges_max_reduce_value_and_high_water():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    ga = a.gauge("depth")
+    ga.set(5)
+    ga.set(2)  # value 2, max 5
+    gb = b.gauge("depth")
+    gb.set(3)  # value 3, max 3
+    a.merge(b.as_dict())
+    assert a.gauge("depth").value == 3.0
+    assert a.gauge("depth").max_value == 5.0
+
+
+def test_histograms_combine_bucketwise():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    bounds = (0.1, 1.0, 10.0)
+    ha = a.histogram("lat", buckets=bounds)
+    for v in (0.05, 0.5):
+        ha.observe(v)
+    hb = b.histogram("lat", buckets=bounds)
+    for v in (5.0, 50.0, 0.01):
+        hb.observe(v)
+    a.merge(b.as_dict())
+    h = a.histogram("lat", buckets=bounds)
+    assert h.count == 5
+    assert math.isclose(h.total, 55.56)
+    assert h.min_value == 0.01
+    assert h.max_value == 50.0
+    assert sum(h.counts) == 5
+    assert h.counts[-1] == 1  # the 50.0 overflow landed in +inf
+
+
+def test_merge_creates_zero_valued_metrics():
+    # the eager-zero contract: a quiet child's zero-valued counters must
+    # appear (as zeros) in the merged registry, not be absent.
+    a, b = MetricsRegistry(), MetricsRegistry()
+    b.counter("fabric_retransmits")  # created, never incremented
+    a.merge(b.as_dict())
+    names = {m["name"] for m in a.as_dict()["metrics"]}
+    assert "fabric_retransmits" in names
+    assert a.value("fabric_retransmits") == 0.0
+
+
+def test_merge_rejects_wrong_schema_and_bounds():
+    a = MetricsRegistry()
+    with pytest.raises(ValueError, match="schema"):
+        a.merge({"schema": "bogus/v0", "metrics": []})
+    a.histogram("lat", buckets=(1.0, 2.0)).observe(0.5)
+    b = MetricsRegistry()
+    b.histogram("lat", buckets=(5.0, 6.0)).observe(0.5)
+    with pytest.raises(ValueError):
+        a.merge(b.as_dict())
+
+
+def test_process_transport_registry_is_eagerly_zeroed():
+    from repro.runtime.transport.process import _EAGER_COUNTERS, _eager_registry
+
+    reg = _eager_registry()
+    names = {m["name"] for m in reg.as_dict()["metrics"]}
+    for name in _EAGER_COUNTERS:
+        assert name in names
+        assert reg.value(name) == 0.0
+    assert "ring_rejoins" in _EAGER_COUNTERS
+    assert "detector_suspicions" in _EAGER_COUNTERS
+
+
+# -- clock alignment ----------------------------------------------------------
+
+
+def test_shared_clock_fast_path():
+    # child sample inside [publish, observe]: same clock domain (Linux
+    # fork shares CLOCK_MONOTONIC) -> zero offset, window-wide bound.
+    al = align_clock(2, parent_publish=100.0, child_sample=100.4,
+                     parent_observe=101.0)
+    assert al.rank == 2
+    assert al.offset_s == 0.0
+    assert al.skew_bound_s == pytest.approx(1.0)
+    assert al.method == "shared-clock"
+
+
+def test_midpoint_fallback_for_foreign_clock():
+    # child sample outside the bracket: a different clock domain.  The
+    # midpoint estimate maps the sample to the centre of the parent's
+    # window, with half the window as the bound.
+    al = align_clock(0, parent_publish=100.0, child_sample=5.0,
+                     parent_observe=102.0)
+    assert al.method == "midpoint"
+    assert al.offset_s == pytest.approx(96.0)  # 101.0 - 5.0
+    assert al.skew_bound_s == pytest.approx(1.0)
+    # applying the offset lands the sample inside the parent window.
+    assert 100.0 <= 5.0 + al.offset_s <= 102.0
+
+
+def test_alignment_serializes():
+    al = ClockAlignment(1, 0.5, 0.01, "midpoint")
+    d = al.as_dict()
+    assert d == {"offset_s": 0.5, "skew_bound_s": 0.01, "method": "midpoint"}
+    assert al.rank == 1
+
+
+# -- trace spills -------------------------------------------------------------
+
+
+def test_spill_roundtrip_and_offset_merge(tmp_path):
+    child = Tracer(metadata={"role": "child"})
+    rt = child.rank(1)
+    rt.instant("send", "wire", {"dst": 0})
+    with rt.span("F", "compute", {"slot": 3}):
+        pass
+
+    path = str(tmp_path / "trace-rank1.jsonl")
+    dump_trace_spill(child, path, rank=1, clock_sample=123.0)
+    spill = load_trace_spill(path)
+    assert spill["header"]["schema"] == SPILL_SCHEMA
+    assert spill["header"]["rank"] == 1
+    assert spill["header"]["clock_sample"] == 123.0
+    assert len(spill["events"]) == 2
+
+    parent = Tracer()
+    parent.epoch = 0.0
+    n = merge_trace_spill(
+        parent, spill, ClockAlignment(1, 10.0, 0.5, "midpoint")
+    )
+    assert n == 2
+    evs = parent.events()
+    assert {e["pid"] for e in evs} == {1}
+    names = {e["name"] for e in evs}
+    assert names == {"send", "F"}
+    # the child's raw timestamps were shifted by the 10 s offset.
+    raw_ts = sorted(e[3] for e in child.rank(1)._events)
+    merged_ts = sorted(e["ts"] for e in evs)  # µs from epoch 0
+    for got, raw in zip(merged_ts, raw_ts):
+        assert got == pytest.approx((raw + 10.0) * 1e6, rel=1e-9)
+    # the alignment is recorded in the parent tracer's metadata.
+    assert parent.metadata["clock"]["1"]["method"] == "midpoint"
+
+
+def test_load_spill_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"schema": "nope/v9", "rank": 0}\n')
+    with pytest.raises(ValueError, match="schema"):
+        load_trace_spill(str(path))

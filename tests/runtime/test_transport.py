@@ -331,6 +331,9 @@ def test_transport_capability_flags():
     assert issubclass(ProcessTransport, Transport)
     assert ProcessTransport.chaos == "delay-only"
     assert not ProcessTransport.supports_detector
+    # cross-process tracing: per-rank spill buffers merged in the parent.
+    assert ProcessTransport.supports_tracer
+    assert ThreadTransport.supports_tracer
     with pytest.raises(ValueError, match="failure detector"):
         ProcessTransport().launch(2, lambda comm: None, 10.0, False,
                                   detector=object())
